@@ -1,0 +1,146 @@
+package asap_test
+
+import (
+	"testing"
+	"time"
+
+	"asap"
+	"asap/internal/asgraph"
+	"asap/internal/overlay"
+)
+
+// TestFacadeEndToEnd drives the whole public surface the way the README
+// quickstart does: build a world, run ASAP, verify relays against ground
+// truth, and compare with the baselines.
+func TestFacadeEndToEnd(t *testing.T) {
+	world, err := asap.BuildWorld(asap.TinyProfile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := asap.NewSystem(world, asap.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessions := world.RandomSessions(world.Profile.Sessions)
+	latent := world.LatentSessions(sessions, asap.QualityRTT)
+	if len(latent) == 0 {
+		t.Skip("no latent sessions at tiny scale")
+	}
+	s := latent[0]
+
+	sel, err := sys.SelectCloseRelay(s.A, s.B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Messages < 4 {
+		t.Errorf("messages = %d, want >= 4", sel.Messages)
+	}
+	relays := sys.PickRelays(sel, 3)
+	eng := overlay.NewEngine(world.Model)
+	improved := false
+	direct, _ := world.DirectRTT(s)
+	for _, path := range relays {
+		var p overlay.Path
+		var ok bool
+		switch len(path) {
+		case 1:
+			p, ok = eng.OneHop(s.A, path[0], s.B)
+		case 2:
+			p, ok = eng.TwoHop(s.A, path[0], path[1], s.B)
+		}
+		if ok && p.RTT < direct {
+			improved = true
+		}
+	}
+	if len(relays) > 0 && !improved {
+		t.Error("no picked relay improved on the latent direct path")
+	}
+}
+
+func TestFacadeComparisonAndMOS(t *testing.T) {
+	world, err := asap.BuildWorld(asap.TinyProfile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := asap.NewSystem(world, asap.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	latent := world.LatentSessions(world.RandomSessions(world.Profile.Sessions), asap.QualityRTT)
+	if len(latent) < 2 {
+		t.Skip("too few latent sessions")
+	}
+	if len(latent) > 6 {
+		latent = latent[:6]
+	}
+	d, r, m, err := world.NewBaselines(15, 30, 8, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := asap.RunComparison([]asap.Method{
+		asap.NewBaselineMethod(d, world.Engine),
+		asap.NewBaselineMethod(r, world.Engine),
+		asap.NewBaselineMethod(m, world.Engine),
+		asap.NewASAPMethod(sys, world.Engine),
+		asap.NewOPTMethod(world.Engine),
+	}, latent)
+	if got := len(cmp.Order); got != 5 {
+		t.Fatalf("methods = %d", got)
+	}
+
+	// MOS helper sanity through the facade.
+	if mos := asap.MOSFromRTT(100*time.Millisecond, 0.005, asap.CodecG729A); mos < 3.8 {
+		t.Errorf("facade MOS = %v", mos)
+	}
+	if asap.QualityRTT != 300*time.Millisecond {
+		t.Errorf("QualityRTT = %v", asap.QualityRTT)
+	}
+	if asap.SatisfactionMOS != 3.6 {
+		t.Errorf("SatisfactionMOS = %v", asap.SatisfactionMOS)
+	}
+}
+
+// TestFacadeLiveDeployment runs the actor layer through the facade over
+// the in-memory transport.
+func TestFacadeLiveDeployment(t *testing.T) {
+	tr := asap.NewMemTransport()
+	defer func() { _ = tr.Close() }()
+
+	b := asgraph.NewBuilder()
+	b.AddEdge(10, 1, asgraph.RelC2P)
+	b.AddEdge(20, 1, asgraph.RelC2P)
+	bs, err := asap.NewBootstrap(tr, "bs", asap.BootstrapConfig{
+		Graph: b.Build(),
+		Prefixes: []asap.PrefixOrigin{
+			{Prefix: "10.1.0.0/16", ASN: 10},
+			{Prefix: "10.2.0.0/16", ASN: 20},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := asap.NewPeer(tr, "a", asap.NodeConfig{
+		IP: "10.1.0.1", Bootstrap: bs.Addr(), Params: asap.DefaultParams(),
+		Nodal: asap.NodalInfo{BandwidthKbps: 1000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := asap.NewPeer(tr, "c", asap.NodeConfig{
+		IP: "10.2.0.1", Bootstrap: bs.Addr(), Params: asap.DefaultParams(),
+		Nodal: asap.NodalInfo{BandwidthKbps: 1000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	choice, err := a.SetupCall(c.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SendVoice(choice, c.Addr(), []byte("xyz"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if c.ReceivedBytes() != 3 {
+		t.Errorf("received %d bytes, want 3", c.ReceivedBytes())
+	}
+}

@@ -1,0 +1,491 @@
+// Benchmarks: one per table and figure of the paper (see the
+// per-experiment index in DESIGN.md), plus ablations for the design
+// choices the protocol depends on (valley-free BFS bound K, two-hop
+// expansion, policy routing, prefix matching, the E-Model, Gao
+// inference, and both transports).
+//
+// Each figure bench measures the marginal cost of regenerating that
+// figure's data for one unit of work (a session, a sweep, a study run);
+// world construction is cached across benches.
+package asap_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"asap"
+	"asap/internal/asgraph"
+	"asap/internal/baseline"
+	"asap/internal/bgp"
+	"asap/internal/cluster"
+	"asap/internal/core"
+	"asap/internal/eval"
+	"asap/internal/netmodel"
+	"asap/internal/overlay"
+	"asap/internal/sim"
+	"asap/internal/skype"
+	"asap/internal/transport"
+)
+
+// benchState caches the expensive fixtures across benchmarks.
+type benchState struct {
+	world   *asap.World
+	sess    []eval.Session
+	latent  []eval.Session
+	sys     *core.System
+	dedi    *baseline.Dedi
+	rand    *baseline.Rand
+	mix     *baseline.Mix
+	methods map[string]eval.Method
+}
+
+var (
+	benchOnce sync.Once
+	bench     benchState
+
+	scaledOnce  sync.Once
+	scaledState benchState
+)
+
+func benchWorld(b *testing.B) *benchState {
+	b.Helper()
+	benchOnce.Do(func() {
+		w, err := asap.BuildWorld(asap.TinyProfile)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bench.world = w
+		bench.sess = w.RandomSessions(w.Profile.Sessions)
+		bench.latent = w.LatentSessions(bench.sess, netmodel.QualityRTT)
+		sys, err := asap.NewSystem(w, asap.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		bench.sys = sys
+		d, r, m, err := w.NewBaselines(40, 100, 20, 60)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bench.dedi, bench.rand, bench.mix = d, r, m
+		bench.methods = map[string]eval.Method{
+			"DEDI": eval.NewBaselineMethod(d, w.Engine),
+			"RAND": eval.NewBaselineMethod(r, w.Engine),
+			"MIX":  eval.NewBaselineMethod(m, w.Engine),
+			"ASAP": eval.NewASAPMethod(sys, w.Engine),
+			"OPT":  eval.NewOPTMethod(w.Engine),
+		}
+	})
+	if len(bench.latent) == 0 {
+		b.Skip("no latent sessions at bench scale")
+	}
+	return &bench
+}
+
+func scaledWorld(b *testing.B) *benchState {
+	b.Helper()
+	scaledOnce.Do(func() {
+		p := asap.TinyProfile
+		p.Name = "tiny-scaled"
+		p.Hosts *= 2
+		w, err := asap.BuildWorld(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		scaledState.world = w
+		scaledState.sess = w.RandomSessions(p.Sessions)
+		scaledState.latent = w.LatentSessions(scaledState.sess, netmodel.QualityRTT)
+		sys, err := asap.NewSystem(w, asap.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		scaledState.sys = sys
+	})
+	return &scaledState
+}
+
+// --- Section 3 figures ---
+
+// BenchmarkFig2a regenerates the direct-RTT distribution (Figure 2(a)):
+// one full pass over the session workload per iteration.
+func BenchmarkFig2a(b *testing.B) {
+	st := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		over := 0
+		for _, s := range st.sess {
+			if rtt, ok := st.world.DirectRTT(s); ok && rtt > netmodel.QualityRTT {
+				over++
+			}
+		}
+		if over == 0 {
+			b.Fatal("no latent sessions")
+		}
+	}
+}
+
+// BenchmarkFig2b measures the optimal one-hop sweep behind Figure 2(b):
+// one session's exhaustive relay search per iteration.
+func BenchmarkFig2b(b *testing.B) {
+	st := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := st.sess[i%len(st.sess)]
+		if _, ok := st.world.Engine.OptimalOneHop(s.A, s.B); !ok {
+			b.Fatal("no one-hop path")
+		}
+	}
+}
+
+// BenchmarkFig3a regenerates the RTT-reduction-rate series (Figure 3(a)).
+func BenchmarkFig3a(b *testing.B) {
+	st := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := st.sess[i%len(st.sess)]
+		direct, ok1 := st.world.DirectRTT(s)
+		opt, ok2 := st.world.Engine.OptimalOneHop(s.A, s.B)
+		if ok1 && ok2 && opt.RTT < direct {
+			_ = float64(direct-opt.RTT) / float64(direct)
+		}
+	}
+}
+
+// BenchmarkFig3b regenerates the latent-session rescue data (Figure 3(b)).
+func BenchmarkFig3b(b *testing.B) {
+	st := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := st.latent[i%len(st.latent)]
+		if _, ok := st.world.Engine.OptimalOneHop(s.A, s.B); !ok {
+			b.Fatal("latent session with no relay")
+		}
+	}
+}
+
+// --- Section 5: the Skype study ---
+
+func benchSkypeClient(b *testing.B, st *benchState) *skype.Client {
+	b.Helper()
+	cfg := skype.DefaultConfig()
+	cfg.CallDuration = 60 * time.Second
+	c, err := skype.NewClient(st.world.Model, st.world.Prober, cfg, st.world.RNG)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkTable1Fig5 builds the 17-site / 14-session study layout.
+func BenchmarkTable1Fig5(b *testing.B) {
+	st := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := skype.BuildStudyLayout(st.world.Pop, st.world.Graph, st.world.Model, st.world.RNG); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6 simulates one Skype-like call and extracts its relay-path
+// time series (Figure 6).
+func BenchmarkFig6(b *testing.B) {
+	st := benchWorld(b)
+	c := benchSkypeClient(b, st)
+	s := st.latent[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := c.Call(i, s.A, s.B)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(skype.TimeSeries(tr)) == 0 {
+			b.Fatal("empty time series")
+		}
+	}
+}
+
+// BenchmarkTable2Fig7 simulates a call and runs the full trace analysis
+// (Table 2 and Figures 7(a)-(c)).
+func BenchmarkTable2Fig7(b *testing.B) {
+	st := benchWorld(b)
+	c := benchSkypeClient(b, st)
+	s := st.latent[len(st.latent)-1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := c.Call(i, s.A, s.B)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a := skype.Analyze(tr, st.world.Pop)
+		if a.ProbedNodes == 0 {
+			b.Fatal("no probes analyzed")
+		}
+	}
+}
+
+// --- Section 7 figures ---
+
+func benchMethodOnLatent(b *testing.B, name string) {
+	st := benchWorld(b)
+	m := st.methods[name]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := st.latent[i%len(st.latent)]
+		if _, err := m.Run(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11QualityPathsASAP regenerates ASAP's quality-path counts
+// (Figures 11 and 12), one latent session per iteration.
+func BenchmarkFig11QualityPathsASAP(b *testing.B) { benchMethodOnLatent(b, "ASAP") }
+
+// BenchmarkFig11QualityPathsDEDI is the DEDI series of Figures 11/12.
+func BenchmarkFig11QualityPathsDEDI(b *testing.B) { benchMethodOnLatent(b, "DEDI") }
+
+// BenchmarkFig11QualityPathsRAND is the RAND series of Figures 11/12.
+func BenchmarkFig11QualityPathsRAND(b *testing.B) { benchMethodOnLatent(b, "RAND") }
+
+// BenchmarkFig11QualityPathsMIX is the MIX series of Figures 11/12.
+func BenchmarkFig11QualityPathsMIX(b *testing.B) { benchMethodOnLatent(b, "MIX") }
+
+// BenchmarkFig13ShortestRTTOPT regenerates OPT's shortest-RTT series
+// (Figures 13 and 14): one offline-optimal search per iteration.
+func BenchmarkFig13ShortestRTTOPT(b *testing.B) { benchMethodOnLatent(b, "OPT") }
+
+// BenchmarkFig15MOS regenerates the MOS scoring of Figures 15/16 over
+// the latent workload.
+func BenchmarkFig15MOS(b *testing.B) {
+	st := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range st.latent {
+			if rtt, ok := st.world.DirectRTT(s); ok {
+				_ = netmodel.MOSFromRTT(rtt, eval.EvalLossRate, netmodel.CodecG729A)
+			}
+			_ = s
+		}
+	}
+}
+
+// BenchmarkFig17Scalability runs ASAP selection in the 2x-population
+// world (Figure 17's scaled arm).
+func BenchmarkFig17Scalability(b *testing.B) {
+	st := scaledWorld(b)
+	if len(st.latent) == 0 {
+		b.Skip("no latent sessions in scaled world")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := st.latent[i%len(st.latent)]
+		if _, err := st.sys.SelectCloseRelay(s.A, s.B); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig18Overhead measures the message-accounting path of
+// Figure 18: a full ASAP selection with counters, per iteration.
+func BenchmarkFig18Overhead(b *testing.B) {
+	st := benchWorld(b)
+	b.ResetTimer()
+	var msgs int64
+	for i := 0; i < b.N; i++ {
+		s := st.latent[i%len(st.latent)]
+		sel, err := st.sys.SelectCloseRelay(s.A, s.B)
+		if err != nil {
+			b.Fatal(err)
+		}
+		msgs += sel.Messages
+	}
+	if b.N > 0 {
+		b.ReportMetric(float64(msgs)/float64(b.N), "msgs/session")
+	}
+}
+
+// --- Ablations and substrate micro-benchmarks ---
+
+// BenchmarkCloseSetK ablates the valley-free BFS bound K (the paper
+// argues K=4 suffices; larger K probes more for little gain).
+func BenchmarkCloseSetK(b *testing.B) {
+	for _, k := range []int{2, 4, 6} {
+		k := k
+		b.Run(map[int]string{2: "K2", 4: "K4", 6: "K6"}[k], func(b *testing.B) {
+			st := benchWorld(b)
+			params := asap.DefaultParams()
+			params.K = k
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				sys, err := asap.NewSystem(st.world, params)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cid := st.world.Pop.Host(st.latent[i%len(st.latent)].A).Cluster
+				b.StartTimer()
+				if _, err := sys.CloseSet(cid); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSelectRelayTwoHop ablates two-hop expansion: sizeT=0 disables
+// it (one-hop only), the default 300 enables it for sparse sessions.
+func BenchmarkSelectRelayTwoHop(b *testing.B) {
+	for _, sizeT := range []int{0, 300} {
+		name := "disabled"
+		if sizeT > 0 {
+			name = "sizeT300"
+		}
+		sizeT := sizeT
+		b.Run(name, func(b *testing.B) {
+			st := benchWorld(b)
+			params := asap.DefaultParams()
+			params.SizeT = sizeT
+			sys, err := asap.NewSystem(st.world, params)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := st.latent[i%len(st.latent)]
+				if _, err := sys.SelectCloseRelay(s.A, s.B); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkValleyFreeBFS measures the close-set search primitive.
+func BenchmarkValleyFreeBFS(b *testing.B) {
+	st := benchWorld(b)
+	g := st.world.Graph
+	asns := g.ASNs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := g.ValleyFreeBFS(asns[i%len(asns)], 4)
+		if len(r.Hops) == 0 {
+			b.Fatal("empty reach")
+		}
+	}
+}
+
+// BenchmarkPolicyRouteTable measures one BGP-style table construction.
+func BenchmarkPolicyRouteTable(b *testing.B) {
+	st := benchWorld(b)
+	g := st.world.Graph
+	asns := g.ASNs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g.BuildRouteTable(asns[i%len(asns)]) == nil {
+			b.Fatal("nil table")
+		}
+	}
+}
+
+// BenchmarkTrieLookup measures longest-prefix matching.
+func BenchmarkTrieLookup(b *testing.B) {
+	st := benchWorld(b)
+	trie := st.world.Alloc.BuildTrie()
+	hosts := st.world.Pop.Hosts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := trie.Lookup(hosts[i%len(hosts)].Addr); !ok {
+			b.Fatal("lookup miss")
+		}
+	}
+}
+
+// BenchmarkEModelMOS measures the G.107 computation.
+func BenchmarkEModelMOS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		mos := netmodel.MOSFromRTT(time.Duration(i%400)*time.Millisecond, 0.005, netmodel.CodecG729A)
+		if mos < 1 || mos > 4.5 {
+			b.Fatal("MOS out of range")
+		}
+	}
+}
+
+// BenchmarkGaoInference measures relationship inference over a synthetic
+// RIB's paths.
+func BenchmarkGaoInference(b *testing.B) {
+	rng := sim.NewRNG(7)
+	g, err := asgraph.Generate(asgraph.DefaultGenConfig(300), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	alloc, err := bgp.Allocate(g, bgp.DefaultAllocConfig(), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	router := asgraph.NewRouter(g, 0)
+	asns := g.ASNs()
+	var vas []asgraph.ASN
+	for _, i := range rng.Sample(len(asns), 6) {
+		vas = append(vas, asns[i])
+	}
+	paths := bgp.Paths(bgp.SynthesizeRIB(router, alloc, vas))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if edges := asgraph.InferRelationships(paths, asgraph.InferConfig{}); len(edges) == 0 {
+			b.Fatal("no edges inferred")
+		}
+	}
+}
+
+// BenchmarkOverlayOneHop measures single relay-path evaluation, the inner
+// loop of every selection method.
+func BenchmarkOverlayOneHop(b *testing.B) {
+	st := benchWorld(b)
+	eng := overlay.NewEngine(st.world.Model)
+	s := st.latent[0]
+	pop := st.world.Pop
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := cluster.HostID(i % pop.NumHosts())
+		_, _ = eng.OneHop(s.A, r, s.B)
+	}
+}
+
+// BenchmarkTransportMem measures an in-memory protocol round trip.
+func BenchmarkTransportMem(b *testing.B) {
+	mem := transport.NewMem()
+	defer func() { _ = mem.Close() }()
+	if _, err := mem.Serve("srv", func(_ transport.Addr, m *transport.Message) (*transport.Message, error) {
+		return &transport.Message{Type: transport.MsgPong}, nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+	req := &transport.Message{Type: transport.MsgPing, From: "cli"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mem.Call("srv", req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTransportTCP measures a live gob-over-TCP protocol round trip
+// on loopback.
+func BenchmarkTransportTCP(b *testing.B) {
+	tcp := transport.NewTCP()
+	defer func() { _ = tcp.Close() }()
+	addr, err := tcp.Serve("127.0.0.1:0", func(_ transport.Addr, m *transport.Message) (*transport.Message, error) {
+		return &transport.Message{Type: transport.MsgPong}, nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := &transport.Message{Type: transport.MsgPing, From: "cli"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tcp.Call(addr, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+// Command asapd runs a live ASAP node over TCP: a bootstrap server or a
+// peer (end host / surrogate). Several asapd processes on one machine or
+// across a LAN form a working ASAP deployment: peers join, elect
+// surrogates, build close cluster sets by pinging, and place relayed
+// calls.
+//
+// Bootstrap (uses a built-in demo topology unless -prefixes is given):
+//
+//	asapd -role bootstrap -listen 127.0.0.1:7000
+//
+// Peers:
+//
+//	asapd -role peer -listen 127.0.0.1:7001 -ip 10.100.0.1 -bootstrap 127.0.0.1:7000
+//	asapd -role peer -listen 127.0.0.1:7002 -ip 10.200.0.1 -bootstrap 127.0.0.1:7000 \
+//	      -call 127.0.0.1:7001 -say "hello over asap"
+//
+// The -prefixes flag accepts "CIDR=ASN" pairs separated by commas to
+// describe a custom deployment, e.g.
+// "10.1.0.0/16=64501,10.2.0.0/16=64502"; -links accepts
+// "A-B=rel" AS links with rel one of c2p, p2p, s2s.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"asap/internal/asgraph"
+	"asap/internal/core"
+	"asap/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "asapd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("asapd", flag.ContinueOnError)
+	var (
+		role      = fs.String("role", "peer", "bootstrap|peer")
+		listen    = fs.String("listen", "127.0.0.1:0", "listen address")
+		bootstrap = fs.String("bootstrap", "", "bootstrap address (peer role)")
+		ip        = fs.String("ip", "", "overlay IP of this peer (peer role)")
+		prefixes  = fs.String("prefixes", "", "bootstrap: comma-separated CIDR=ASN pairs (empty = demo topology)")
+		links     = fs.String("links", "", "bootstrap: comma-separated A-B=rel AS links (rel: c2p|p2p|s2s)")
+		call      = fs.String("call", "", "peer: place a call to this peer address after joining")
+		say       = fs.String("say", "hello from asapd", "peer: voice payload for -call")
+		latT      = fs.Duration("latt", 300*time.Millisecond, "latency threshold")
+		wait      = fs.Duration("wait", 0, "peer: delay before -call (lets other peers join)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	tr := transport.NewTCP()
+	defer func() { _ = tr.Close() }()
+
+	switch *role {
+	case "bootstrap":
+		cfg, err := bootstrapConfig(*prefixes, *links)
+		if err != nil {
+			return err
+		}
+		bs, err := core.NewBootstrap(tr, transport.Addr(*listen), cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("asapd bootstrap listening on %s (%d prefixes, %d ASes)\n",
+			bs.Addr(), len(cfg.Prefixes), cfg.Graph.NumNodes())
+		waitForSignal()
+		return nil
+
+	case "peer":
+		if *bootstrap == "" || *ip == "" {
+			return fmt.Errorf("peer role needs -bootstrap and -ip")
+		}
+		params := core.DefaultParams()
+		params.LatT = *latT
+		node, err := core.NewNode(tr, transport.Addr(*listen), core.NodeConfig{
+			IP:        *ip,
+			Bootstrap: transport.Addr(*bootstrap),
+			Params:    params,
+			Nodal:     transport.NodalInfo{BandwidthKbps: 1000, CPUScore: 1},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("asapd peer %s joined: cluster %s, surrogate=%v\n",
+			node.Addr(), node.ClusterKey(), node.IsSurrogate())
+
+		if *call != "" {
+			if *wait > 0 {
+				time.Sleep(*wait)
+			}
+			if err := node.RefreshCloseSet(); err != nil {
+				fmt.Printf("  close-set refresh: %v\n", err)
+			}
+			choice, err := node.SetupCall(transport.Addr(*call))
+			if err != nil {
+				return fmt.Errorf("call setup: %w", err)
+			}
+			via := "direct"
+			if choice.Relay != "" {
+				via = "relay " + string(choice.Relay)
+			}
+			fmt.Printf("  call to %s: %s (direct %v, est %v, %d candidates)\n",
+				*call, via, choice.Direct.Round(time.Millisecond),
+				choice.EstRTT.Round(time.Millisecond), choice.Candidates)
+			if err := node.SendVoice(choice, transport.Addr(*call), []byte(*say), 1); err != nil {
+				return fmt.Errorf("voice: %w", err)
+			}
+			fmt.Printf("  delivered %d voice bytes\n", len(*say))
+			return nil
+		}
+		waitForSignal()
+		return nil
+
+	default:
+		return fmt.Errorf("unknown role %q", *role)
+	}
+}
+
+// bootstrapConfig parses -prefixes/-links or falls back to the built-in
+// demo world: two distant stubs and a multi-homed middle cluster.
+func bootstrapConfig(prefixes, links string) (core.BootstrapConfig, error) {
+	if prefixes == "" {
+		b := asgraph.NewBuilder()
+		b.AddEdge(1, 2, asgraph.RelP2P)
+		b.AddEdge(10, 1, asgraph.RelC2P)
+		b.AddEdge(20, 2, asgraph.RelC2P)
+		b.AddEdge(100, 10, asgraph.RelC2P)
+		b.AddEdge(200, 20, asgraph.RelC2P)
+		b.AddEdge(300, 10, asgraph.RelC2P)
+		b.AddEdge(300, 20, asgraph.RelC2P)
+		return core.BootstrapConfig{
+			Graph: b.Build(),
+			K:     4,
+			Prefixes: []core.PrefixOrigin{
+				{Prefix: "10.100.0.0/16", ASN: 100},
+				{Prefix: "10.200.0.0/16", ASN: 200},
+				{Prefix: "10.30.0.0/16", ASN: 300},
+			},
+		}, nil
+	}
+	cfg := core.BootstrapConfig{K: 4}
+	for _, pair := range strings.Split(prefixes, ",") {
+		cidr, asnStr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return cfg, fmt.Errorf("bad -prefixes entry %q (want CIDR=ASN)", pair)
+		}
+		asn, err := strconv.ParseUint(asnStr, 10, 32)
+		if err != nil {
+			return cfg, fmt.Errorf("bad ASN in %q: %w", pair, err)
+		}
+		cfg.Prefixes = append(cfg.Prefixes, core.PrefixOrigin{
+			Prefix: cidr, ASN: asgraph.ASN(asn),
+		})
+	}
+	b := asgraph.NewBuilder()
+	for _, po := range cfg.Prefixes {
+		b.AddNode(asgraph.Node{ASN: po.ASN, Tier: asgraph.TierStub})
+	}
+	if links != "" {
+		for _, l := range strings.Split(links, ",") {
+			ends, relStr, ok := strings.Cut(strings.TrimSpace(l), "=")
+			if !ok {
+				return cfg, fmt.Errorf("bad -links entry %q (want A-B=rel)", l)
+			}
+			aStr, bStr, ok := strings.Cut(ends, "-")
+			if !ok {
+				return cfg, fmt.Errorf("bad -links entry %q (want A-B=rel)", l)
+			}
+			a, err1 := strconv.ParseUint(aStr, 10, 32)
+			c, err2 := strconv.ParseUint(bStr, 10, 32)
+			if err1 != nil || err2 != nil {
+				return cfg, fmt.Errorf("bad AS numbers in %q", l)
+			}
+			var rel asgraph.Relationship
+			switch relStr {
+			case "c2p":
+				rel = asgraph.RelC2P
+			case "p2p":
+				rel = asgraph.RelP2P
+			case "s2s":
+				rel = asgraph.RelS2S
+			default:
+				return cfg, fmt.Errorf("bad relationship %q in %q", relStr, l)
+			}
+			b.AddEdge(asgraph.ASN(a), asgraph.ASN(c), rel)
+		}
+	}
+	cfg.Graph = b.Build()
+	return cfg, nil
+}
+
+func waitForSignal() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
+	<-ch
+}

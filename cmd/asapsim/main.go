@@ -1,0 +1,209 @@
+// Command asapsim regenerates the paper's measurement and evaluation
+// figures (Sections 3 and 7) from a synthesized world.
+//
+// Usage:
+//
+//	asapsim -profile small -figs all
+//	asapsim -profile paper -figs 2a,2b,3a,3b
+//	asapsim -profile small -figs 11,13,15,17,18 -sessions 2000
+//
+// Each figure is printed as a labelled text table with the paper's
+// qualitative expectation alongside, and optionally written as CSV.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"asap/internal/core"
+	"asap/internal/eval"
+	"asap/internal/netmodel"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "asapsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("asapsim", flag.ContinueOnError)
+	var (
+		profileName = fs.String("profile", "small", "world scale: tiny|small|paper")
+		figs        = fs.String("figs", "all", "comma-separated figure list: 2a,2b,3a,3b,11,13,15,17,18 or all")
+		sessions    = fs.Int("sessions", 0, "override session count (0 = profile default)")
+		latentCap   = fs.Int("latent", 0, "cap latent sessions used in the comparison (0 = all)")
+		pairSample  = fs.Int("pairsample", 2000, "sessions sampled for the Fig 2(b)/3(a) sweep")
+		seed        = fs.Int64("seed", 0, "override world seed (0 = profile default)")
+		dediN       = fs.Int("dedi", 80, "DEDI dedicated node count")
+		randN       = fs.Int("rand", 200, "RAND probe count")
+		mixD        = fs.Int("mixdedi", 40, "MIX dedicated node count")
+		mixR        = fs.Int("mixrand", 120, "MIX random probe count")
+		scaleRatio  = fs.Float64("scale", 4.434, "population ratio for Fig 17 (paper: 103625/23366)")
+		csvDir      = fs.String("csv", "", "also write raw figure series as CSV files into this directory")
+		kFlag       = fs.Int("k", 0, "valley-free BFS bound (0 = calibrate by the paper's 90%-quantile rule)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	profile, err := eval.ProfileByName(*profileName)
+	if err != nil {
+		return err
+	}
+	if *sessions > 0 {
+		profile.Sessions = *sessions
+	}
+	if *seed != 0 {
+		profile.Seed = *seed
+	}
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*figs, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	all := want["all"]
+	wantFig := func(names ...string) bool {
+		if all {
+			return true
+		}
+		for _, n := range names {
+			if want[n] {
+				return true
+			}
+		}
+		return false
+	}
+
+	start := time.Now()
+	fmt.Printf("== building world: profile=%s ases=%d hosts=%d sessions=%d seed=%d\n",
+		profile.Name, profile.ASes, profile.Hosts, profile.Sessions, profile.Seed)
+	w, err := eval.BuildWorld(profile)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   graph: %d ASes, %d links; population: %d hosts in %d clusters (%.1fs)\n",
+		w.Graph.NumNodes(), w.Graph.NumEdges(), w.Pop.NumHosts(), w.Pop.NumClusters(),
+		time.Since(start).Seconds())
+	fmt.Printf("   clusters <= 100 hosts: %.1f%% (paper: ~90%%)\n\n", 100*w.Pop.SizeCDFAt(100))
+
+	sess := w.RandomSessions(profile.Sessions)
+	latent := w.LatentSessions(sess, netmodel.QualityRTT)
+	fmt.Printf("== workload: %d sessions, %d latent (>300ms direct, %.2f%%; paper ~1%%)\n\n",
+		len(sess), len(latent), 100*float64(len(latent))/float64(len(sess)))
+
+	if wantFig("2a", "2b", "3a", "3b") {
+		fmt.Println("== Section 3 routing study")
+		st := eval.RunRoutingStudy(w, sess, *pairSample, netmodel.QualityRTT, *latentCap)
+		if wantFig("2a") {
+			fmt.Println(st.FormatFig2a())
+		}
+		if wantFig("2b") {
+			fmt.Println(st.FormatFig2b())
+		}
+		if wantFig("3a") {
+			fmt.Println(st.FormatFig3a())
+		}
+		if wantFig("3b") {
+			fmt.Println(st.FormatFig3b(netmodel.QualityRTT))
+		}
+		if *csvDir != "" {
+			if err := st.WriteCSV(*csvDir); err != nil {
+				return err
+			}
+		}
+	}
+
+	needCmp := wantFig("11", "12", "13", "14", "15", "16", "18")
+	needScale := wantFig("17")
+	if !needCmp && !needScale {
+		return nil
+	}
+
+	k := *kFlag
+	if k <= 0 {
+		k = w.CalibrateK(sess, netmodel.QualityRTT, 0.9, 20000)
+		fmt.Printf("== calibrated K = %d (90%% of sub-300ms paths; paper's rule gave 4 in 2005)\n", k)
+	}
+	used := latent
+	if *latentCap > 0 && len(used) > *latentCap {
+		used = used[:*latentCap]
+	}
+	cmp, err := runComparison(w, used, k, *dediN, *randN, *mixD, *mixR, true)
+	if err != nil {
+		return err
+	}
+	if wantFig("11", "12") {
+		fmt.Println(cmp.FormatFig11and12())
+	}
+	if wantFig("13", "14") {
+		fmt.Println(cmp.FormatFig13and14())
+	}
+	if wantFig("15", "16") {
+		fmt.Println(cmp.FormatFig15and16())
+	}
+	if wantFig("18") {
+		fmt.Println(cmp.FormatFig18())
+	}
+	if *csvDir != "" {
+		if err := cmp.WriteCSV(*csvDir); err != nil {
+			return err
+		}
+	}
+
+	if needScale {
+		fmt.Printf("== Figure 17: same network, %.3fx population\n", *scaleRatio)
+		bw, err := w.ScaledCopy(*scaleRatio)
+		if err != nil {
+			return err
+		}
+		big := bw.Profile
+		bsess := bw.RandomSessions(big.Sessions)
+		blatent := bw.LatentSessions(bsess, netmodel.QualityRTT)
+		if *latentCap > 0 && len(blatent) > *latentCap {
+			blatent = blatent[:*latentCap]
+		}
+		bcmp, err := runComparison(bw, blatent, k, *dediN, *randN, *mixD, *mixR, false)
+		if err != nil {
+			return err
+		}
+		sc := eval.RunScalability(cmp, bcmp, *scaleRatio)
+		fmt.Println(sc.Format())
+		if *csvDir != "" {
+			if err := sc.WriteCSV(*csvDir); err != nil {
+				return err
+			}
+		}
+	}
+
+	fmt.Printf("== done in %.1fs\n", time.Since(start).Seconds())
+	return nil
+}
+
+func runComparison(w *eval.World, sessions []eval.Session, k, dediN, randN, mixD, mixR int, withOPT bool) (*eval.Comparison, error) {
+	params := core.DefaultParams()
+	params.K = k
+	sys, err := w.NewASAP(params)
+	if err != nil {
+		return nil, err
+	}
+	d, r, m, err := w.NewBaselines(dediN, randN, mixD, mixR)
+	if err != nil {
+		return nil, err
+	}
+	methods := []eval.Method{
+		eval.NewBaselineMethod(d, w.Engine),
+		eval.NewBaselineMethod(r, w.Engine),
+		eval.NewBaselineMethod(m, w.Engine),
+		eval.NewASAPMethod(sys, w.Engine),
+	}
+	if withOPT {
+		methods = append(methods, eval.NewOPTMethod(w.Engine))
+	}
+	fmt.Printf("== comparing %d methods on %d latent sessions\n", len(methods), len(sessions))
+	return eval.RunComparison(methods, sessions), nil
+}

@@ -1,0 +1,178 @@
+// Callcenter: an enterprise with offices on several continents routes its
+// inter-office VoIP through ASAP relays, then a backbone AS congests
+// mid-day and the relay choices adapt — the workload the paper's
+// introduction motivates (stable quality for long-lived, repeated calls).
+//
+//	go run ./examples/callcenter
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"asap"
+	"asap/internal/cluster"
+	"asap/internal/netmodel"
+	"asap/internal/overlay"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "callcenter:", err)
+		os.Exit(1)
+	}
+}
+
+// office is one corporate site: a handful of softphones in one cluster.
+type office struct {
+	name   string
+	phones []cluster.HostID
+}
+
+func run() error {
+	world, err := asap.BuildWorld(asap.TinyProfile)
+	if err != nil {
+		return err
+	}
+	sys, err := asap.NewSystem(world, asap.DefaultParams())
+	if err != nil {
+		return err
+	}
+	eng := overlay.NewEngine(world.Model)
+
+	// Pick 4 offices in distinct, mutually distant ASes: take the four
+	// clusters whose pairwise direct RTTs are largest among a sample.
+	offices, err := pickOffices(world, 4)
+	if err != nil {
+		return err
+	}
+	for _, o := range offices {
+		fmt.Printf("office %-8s cluster with %d phones\n", o.name, len(o.phones))
+	}
+
+	scoreAll := func(label string) {
+		var worst, sum float64
+		worst = 5
+		calls := 0
+		for i := range offices {
+			for j := i + 1; j < len(offices); j++ {
+				a := offices[i].phones[0]
+				b := offices[j].phones[0]
+				direct, ok := world.Model.HostRTT(a, b)
+				if !ok {
+					continue
+				}
+				best := direct
+				used := "direct"
+				if direct >= asap.QualityRTT {
+					if sel, err := sys.SelectCloseRelay(a, b); err == nil {
+						for _, path := range sys.PickRelays(sel, 3) {
+							var p overlay.Path
+							var ok bool
+							if len(path) == 1 {
+								p, ok = eng.OneHop(a, path[0], b)
+							} else {
+								p, ok = eng.TwoHop(a, path[0], path[1], b)
+							}
+							if ok && p.RTT < best {
+								best = p.RTT
+								used = p.Kind.String()
+							}
+						}
+					}
+				}
+				mos := asap.MOSFromRTT(best, 0.005, asap.CodecG729A)
+				sum += mos
+				calls++
+				if mos < worst {
+					worst = mos
+				}
+				fmt.Printf("  %s <-> %s: direct %4dms, voice via %-6s RTT %4dms, MOS %.2f\n",
+					offices[i].name, offices[j].name,
+					direct.Milliseconds(), used, best.Milliseconds(), mos)
+			}
+		}
+		fmt.Printf("%s: mean MOS %.2f, worst %.2f over %d routes\n\n",
+			label, sum/float64(calls), worst, calls)
+	}
+
+	fmt.Println("\n== morning: normal backbone")
+	scoreAll("morning")
+
+	// Mid-day: congest the transit AS that the two farthest offices
+	// route through.
+	a := offices[0].phones[0]
+	b := offices[len(offices)-1].phones[0]
+	ha := world.Pop.Host(a)
+	hb := world.Pop.Host(b)
+	path, ok := world.Router.Path(ha.AS, hb.AS)
+	if !ok || len(path) < 3 {
+		return fmt.Errorf("no transit AS between the far offices")
+	}
+	victim := path[len(path)/2]
+	fmt.Printf("== midday: AS%d on the %s-%s route congests (+150ms one way)\n",
+		victim, offices[0].name, offices[len(offices)-1].name)
+	world.Model.SetCondition(victim, netmodel.Condition{
+		ExtraOneWay: 150 * time.Millisecond,
+		LossRate:    0.02,
+	})
+	scoreAll("midday")
+	return nil
+}
+
+func pickOffices(world *asap.World, n int) ([]office, error) {
+	names := []string{"NYC", "London", "Shanghai", "Austin", "Munich", "Osaka"}
+	// Greedy farthest-point selection over cluster delegates.
+	clusters := world.Pop.Clusters()
+	if len(clusters) < n {
+		return nil, fmt.Errorf("world too small for %d offices", n)
+	}
+	chosen := []cluster.ClusterID{clusters[0].ID}
+	for len(chosen) < n {
+		var best cluster.ClusterID = -1
+		var bestMin time.Duration = -1
+		for _, c := range clusters {
+			if len(c.Hosts) < 2 {
+				continue
+			}
+			already := false
+			for _, id := range chosen {
+				if id == c.ID {
+					already = true
+				}
+			}
+			if already {
+				continue
+			}
+			min := time.Duration(1<<62 - 1)
+			for _, id := range chosen {
+				rtt, ok := world.Model.ClusterRTT(c.ID, id)
+				if !ok {
+					min = -1
+					break
+				}
+				if rtt < min {
+					min = rtt
+				}
+			}
+			if min > bestMin {
+				best, bestMin = c.ID, min
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("could not place office %d", len(chosen)+1)
+		}
+		chosen = append(chosen, best)
+	}
+	out := make([]office, 0, n)
+	for i, id := range chosen {
+		c := world.Pop.Cluster(id)
+		phones := c.Hosts
+		if len(phones) > 4 {
+			phones = phones[:4]
+		}
+		out = append(out, office{name: names[i%len(names)], phones: phones})
+	}
+	return out, nil
+}

@@ -1,0 +1,110 @@
+// Churn: surrogates fail and recover while calls keep being placed. The
+// example demonstrates ASAP's failover duties — bootstrap re-seats
+// surrogates (Section 6.1, bootstrap duty 4), replacements rebuild close
+// cluster sets on demand, and relay selection keeps succeeding.
+//
+//	go run ./examples/churn
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"asap"
+	"asap/internal/cluster"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "churn:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	world, err := asap.BuildWorld(asap.TinyProfile)
+	if err != nil {
+		return err
+	}
+	sys, err := asap.NewSystem(world, asap.DefaultParams())
+	if err != nil {
+		return err
+	}
+
+	sessions := world.LatentSessions(world.RandomSessions(world.Profile.Sessions), asap.QualityRTT)
+	if len(sessions) < 2 {
+		return fmt.Errorf("not enough latent sessions")
+	}
+	if len(sessions) > 8 {
+		sessions = sessions[:8]
+	}
+
+	// Baseline round: run every session once so close sets exist.
+	fmt.Println("== round 1: warm up close cluster sets")
+	usedClusters := make(map[cluster.ClusterID]bool)
+	for i, s := range sessions {
+		sel, err := sys.SelectCloseRelay(s.A, s.B)
+		if err != nil {
+			fmt.Printf("  session %d: %v\n", i, err)
+			continue
+		}
+		for _, oc := range sel.OneHop {
+			usedClusters[oc.Cluster] = true
+		}
+		fmt.Printf("  session %d: %d one-hop clusters, %d msgs\n",
+			i, len(sel.OneHop), sel.Messages)
+	}
+	fmt.Printf("  background close-set build cost so far: %d messages\n\n", sys.BuildMessages())
+
+	// Kill the surrogate of every cluster the sessions relied on, plus
+	// the endpoints' own surrogates — three waves of churn.
+	fmt.Println("== churn: killing surrogates of every involved cluster")
+	killed := 0
+	for cid := range usedClusters {
+		if sur, ok := sys.Surrogate(cid); ok {
+			sys.FailHost(sur)
+			killed++
+		}
+	}
+	for _, s := range sessions {
+		for _, cid := range []cluster.ClusterID{world.Pop.Host(s.A).Cluster, world.Pop.Host(s.B).Cluster} {
+			if sur, ok := sys.Surrogate(cid); ok && sur != s.A && sur != s.B {
+				sys.FailHost(sur)
+				killed++
+			}
+		}
+	}
+	fmt.Printf("  killed %d surrogates\n", killed)
+
+	reelected, dead := 0, 0
+	for cid := range usedClusters {
+		if _, ok := sys.Surrogate(cid); ok {
+			reelected++
+		} else {
+			dead++
+		}
+	}
+	fmt.Printf("  re-elected: %d clusters, fully dead: %d clusters\n\n", reelected, dead)
+
+	// Round 2: selection still works; rebuilt close sets cost messages.
+	fmt.Println("== round 2: selection after churn")
+	before := sys.BuildMessages()
+	okCount := 0
+	for i, s := range sessions {
+		if !sys.Alive(s.A) || !sys.Alive(s.B) {
+			fmt.Printf("  session %d: endpoint died in churn, skipped\n", i)
+			continue
+		}
+		sel, err := sys.SelectCloseRelay(s.A, s.B)
+		if err != nil {
+			fmt.Printf("  session %d: %v\n", i, err)
+			continue
+		}
+		okCount++
+		fmt.Printf("  session %d: %d one-hop clusters, %d msgs\n",
+			i, len(sel.OneHop), sel.Messages)
+	}
+	fmt.Printf("  sessions still served: %d/%d\n", okCount, len(sessions))
+	fmt.Printf("  close-set rebuild cost: %d messages\n", sys.BuildMessages()-before)
+	return nil
+}

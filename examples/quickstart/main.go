@@ -1,0 +1,79 @@
+// Quickstart: build a small synthetic Internet, start an ASAP system,
+// place one laggy call, and let select-close-relay rescue it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"asap"
+	"asap/internal/overlay"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1. A world: AS topology + BGP prefixes + peers + ground truth.
+	world, err := asap.BuildWorld(asap.TinyProfile)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("world: %d ASes, %d hosts in %d prefix clusters\n",
+		world.Graph.NumNodes(), world.Pop.NumHosts(), world.Pop.NumClusters())
+
+	// 2. An ASAP system: surrogates elected, close sets built on demand.
+	sys, err := asap.NewSystem(world, asap.DefaultParams())
+	if err != nil {
+		return err
+	}
+
+	// 3. Find a session whose direct path violates the 300 ms budget.
+	sessions := world.RandomSessions(world.Profile.Sessions)
+	latent := world.LatentSessions(sessions, asap.QualityRTT)
+	if len(latent) == 0 {
+		return fmt.Errorf("no latent sessions in this tiny world; try another seed")
+	}
+	s := latent[0]
+	direct, _ := world.DirectRTT(s)
+	fmt.Printf("\ncall %d -> %d: direct RTT %v (over the %v budget)\n",
+		s.A, s.B, direct.Round(time.Millisecond), asap.QualityRTT)
+	fmt.Printf("  direct MOS: %.2f (satisfaction floor %.1f)\n",
+		asap.MOSFromRTT(direct, 0.005, asap.CodecG729A), asap.SatisfactionMOS)
+
+	// 4. select-close-relay: intersect the endpoints' close cluster sets.
+	sel, err := sys.SelectCloseRelay(s.A, s.B)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nASAP found %d one-hop relay clusters (%d candidate relay hosts), "+
+		"%d two-hop pairs, using %d messages\n",
+		len(sel.OneHop), sel.OneHopHosts, sel.TwoHopPairs, sel.Messages)
+
+	// 5. Verify the best picks against ground truth.
+	relays := sys.PickRelays(sel, 3)
+	eng := overlay.NewEngine(world.Model)
+	for i, path := range relays {
+		var p overlay.Path
+		var ok bool
+		switch len(path) {
+		case 1:
+			p, ok = eng.OneHop(s.A, path[0], s.B)
+		case 2:
+			p, ok = eng.TwoHop(s.A, path[0], path[1], s.B)
+		}
+		if !ok {
+			continue
+		}
+		fmt.Printf("  pick %d: %s via %v -> true RTT %v, MOS %.2f\n",
+			i+1, p.Kind, path, p.RTT.Round(time.Millisecond), p.MOS(0.005))
+	}
+	return nil
+}

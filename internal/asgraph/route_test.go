@@ -1,0 +1,187 @@
+package asgraph
+
+import (
+	"testing"
+
+	"asap/internal/sim"
+)
+
+func TestRouteTableCustomerPreference(t *testing.T) {
+	// A destination reachable both through a short provider route and a
+	// longer customer route must be reached via the customer route:
+	// policy preference beats hop count.
+	//
+	//   d p2c c1 p2c c2 p2c src   (src has a 3-hop customer... wait,
+	// routes are toward d: src's route classes are about how src LEARNS d.)
+	//
+	// Construct: src has provider p; p has provider d (so src-p-d is a
+	// 2-hop provider route). src also has customer chain: src p2c a,
+	// a p2c b, b c2p d?? — that would be a valley. Customer routes at src
+	// mean d is reachable strictly downhill from src:
+	// src p2c a, a p2c b, b p2c d: 3-hop customer route.
+	b := NewBuilder()
+	b.AddEdge(999, 1, RelC2P) // src customer of p(1)
+	b.AddEdge(1, 7, RelC2P)   // p customer of d(7): provider route src-1-7
+	b.AddEdge(999, 2, RelP2C) // src provider of a(2)
+	b.AddEdge(2, 3, RelP2C)   // a provider of b(3)
+	b.AddEdge(3, 7, RelP2C)   // b provider of d(7): customer route 999-2-3-7
+	g := b.Build()
+
+	rt := g.BuildRouteTable(7)
+	path, ok := rt.Path(999)
+	if !ok {
+		t.Fatal("no route from 999 to 7")
+	}
+	want := []ASN{999, 2, 3, 7}
+	if !equalPath(path, want) {
+		t.Errorf("path = %v, want customer route %v", path, want)
+	}
+	if h, _ := rt.Hops(999); h != 3 {
+		t.Errorf("hops = %d, want 3", h)
+	}
+}
+
+func TestRouteTablePeerOverProvider(t *testing.T) {
+	// src peers with x which is d's provider (peer route, 2 hops);
+	// src also has provider route via its provider p (2 hops).
+	// Peer route must win at equal length.
+	b := NewBuilder()
+	b.AddEdge(999, 5, RelP2P) // src p2p x(5)
+	b.AddEdge(5, 7, RelP2C)   // x provider of d
+	b.AddEdge(999, 6, RelC2P) // src customer of p(6)
+	b.AddEdge(6, 7, RelP2C)   // p provider of d
+	g := b.Build()
+
+	rt := g.BuildRouteTable(7)
+	path, ok := rt.Path(999)
+	if !ok {
+		t.Fatal("no route")
+	}
+	want := []ASN{999, 5, 7}
+	if !equalPath(path, want) {
+		t.Errorf("path = %v, want peer route %v", path, want)
+	}
+}
+
+func TestRouteTableValleyFreeOnly(t *testing.T) {
+	// Fixture: route from 100 to 200 must climb to the tier-1 clique and
+	// descend; the multi-homed stub 300 must NOT be used as transit
+	// (100-10-300-20-200 has a valley at 300).
+	g := fixtureGraph(t)
+	rt := g.BuildRouteTable(200)
+	path, ok := rt.Path(100)
+	if !ok {
+		t.Fatal("no route from 100 to 200")
+	}
+	want := []ASN{100, 10, 1, 2, 20, 200}
+	if !equalPath(path, want) {
+		t.Errorf("path = %v, want %v", path, want)
+	}
+	if !g.IsValleyFree(path) {
+		t.Errorf("policy path %v is not valley-free", path)
+	}
+}
+
+func TestRouteTableUnreachable(t *testing.T) {
+	b := NewBuilder()
+	b.AddEdge(1, 2, RelP2C)
+	b.AddNode(Node{ASN: 50, Tier: TierStub}) // isolated
+	g := b.Build()
+	rt := g.BuildRouteTable(2)
+	if _, ok := rt.Hops(50); ok {
+		t.Error("isolated AS should be unreachable")
+	}
+	if _, ok := rt.Path(50); ok {
+		t.Error("isolated AS should have no path")
+	}
+	if g.BuildRouteTable(777) != nil {
+		t.Error("table for unknown destination should be nil")
+	}
+}
+
+func TestRouterPathSymmetryAndCache(t *testing.T) {
+	g := fixtureGraph(t)
+	r := NewRouter(g, 4)
+	p1, ok1 := r.Path(100, 200)
+	p2, ok2 := r.Path(200, 100)
+	if !ok1 || !ok2 {
+		t.Fatal("expected routes both ways")
+	}
+	if len(p1) != len(p2) {
+		t.Errorf("asymmetric path lengths: %v vs %v", p1, p2)
+	}
+	for i := range p1 {
+		if p1[i] != p2[len(p2)-1-i] {
+			t.Errorf("reverse mismatch: %v vs %v", p1, p2)
+			break
+		}
+	}
+	if p, ok := r.Path(100, 100); !ok || len(p) != 1 || p[0] != 100 {
+		t.Errorf("self path = %v,%v", p, ok)
+	}
+	if _, ok := r.Path(100, 9999); ok {
+		t.Error("path to unknown AS should fail")
+	}
+	if h, ok := r.Hops(100, 200); !ok || h != 5 {
+		t.Errorf("Hops(100,200) = %d,%v, want 5,true", h, ok)
+	}
+}
+
+func TestRouterEviction(t *testing.T) {
+	g := fixtureGraph(t)
+	r := NewRouter(g, 2)
+	asns := g.ASNs()
+	for _, dst := range asns {
+		r.Table(dst)
+	}
+	r.mu.RLock()
+	n := len(r.tables)
+	r.mu.RUnlock()
+	if n > 2 {
+		t.Errorf("cache holds %d tables, cap 2", n)
+	}
+}
+
+func TestGeneratedGraphPolicyPathsAreValleyFree(t *testing.T) {
+	rng := sim.NewRNG(42)
+	g, err := Generate(DefaultGenConfig(300), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRouter(g, 64)
+	asns := g.ASNs()
+	pairs := 0
+	for i := 0; i < 200; i++ {
+		a := asns[rng.Intn(len(asns))]
+		b := asns[rng.Intn(len(asns))]
+		if a == b {
+			continue
+		}
+		p, ok := r.Path(a, b)
+		if !ok {
+			continue // disconnected fringe is possible but should be rare
+		}
+		pairs++
+		if !g.IsValleyFree(p) {
+			t.Fatalf("policy path %v not valley-free", p)
+		}
+		if p[0] != a || p[len(p)-1] != b {
+			t.Fatalf("path endpoints %v do not match %d->%d", p, a, b)
+		}
+	}
+	if pairs < 150 {
+		t.Errorf("only %d/200 sampled pairs connected; generator too fragmented", pairs)
+	}
+}
+
+func equalPath(a, b []ASN) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

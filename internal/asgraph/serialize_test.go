@@ -1,0 +1,82 @@
+package asgraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"asap/internal/sim"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	g, err := Generate(DefaultGenConfig(300), sim.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip: %d/%d vs %d/%d nodes/edges",
+			g.NumNodes(), g.NumEdges(), g2.NumNodes(), g2.NumEdges())
+	}
+	for _, asn := range g.ASNs() {
+		n1, n2 := g.Node(asn), g2.Node(asn)
+		if n2 == nil || n1.Tier != n2.Tier || n1.X != n2.X || n1.Y != n2.Y {
+			t.Fatalf("node %d mismatch: %+v vs %+v", asn, n1, n2)
+		}
+		e1, e2 := g.Edges(asn), g2.Edges(asn)
+		if len(e1) != len(e2) {
+			t.Fatalf("AS%d edge counts differ", asn)
+		}
+		for i := range e1 {
+			if e1[i] != e2[i] {
+				t.Fatalf("AS%d edge %d: %+v vs %+v", asn, i, e1[i], e2[i])
+			}
+		}
+	}
+}
+
+func TestReadAcceptsCommentsAndBlank(t *testing.T) {
+	src := `
+# a comment
+node 1 tier1 0 0
+
+node 2 stub 10 10
+edge 2 1 c2p
+`
+	g, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("parsed %d/%d", g.NumNodes(), g.NumEdges())
+	}
+	rel, ok := g.Rel(2, 1)
+	if !ok || rel != RelC2P {
+		t.Fatalf("rel = %v,%v", rel, ok)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"node 1 tier1 0",   // missing coord
+		"node x tier1 0 0", // bad asn
+		"node 1 boss 0 0",  // bad tier
+		"node 1 tier1 a b", // bad coords
+		"edge 1 2",         // missing rel
+		"edge 1 2 friends", // bad rel
+		"edge x 2 c2p",     // bad asn
+		"blob 1 2 3",       // unknown record
+	}
+	for _, src := range bad {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("Read(%q) should fail", src)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package asgraph
+
+import "testing"
+
+func TestValleyFreeTraverseVisitsOnce(t *testing.T) {
+	g := fixtureGraph(t)
+	seen := make(map[ASN]int)
+	g.ValleyFreeTraverse(100, 4, func(asn ASN, hops int) bool {
+		seen[asn]++
+		return true
+	})
+	for asn, n := range seen {
+		if n != 1 {
+			t.Errorf("AS%d visited %d times, want 1", asn, n)
+		}
+	}
+	// Without pruning, the visit set must equal ValleyFreeBFS's reach.
+	reach := g.ValleyFreeBFS(100, 4)
+	if len(seen) != len(reach.Hops) {
+		t.Errorf("traverse visited %d ASes, BFS reached %d", len(seen), len(reach.Hops))
+	}
+	for asn, h := range reach.Hops {
+		if _, ok := seen[asn]; !ok {
+			t.Errorf("AS%d (hops %d) not visited", asn, h)
+		}
+	}
+}
+
+func TestValleyFreeTraversePruning(t *testing.T) {
+	g := fixtureGraph(t)
+	// Prune at AS10: nothing beyond it should be visited from 100 except
+	// what is reachable without expanding 10 — i.e. only 100 and 10.
+	var visited []ASN
+	g.ValleyFreeTraverse(100, 4, func(asn ASN, hops int) bool {
+		visited = append(visited, asn)
+		return asn != 10
+	})
+	if len(visited) != 2 {
+		t.Fatalf("visited %v, want [100 10]", visited)
+	}
+}
+
+func TestValleyFreeTraversePrunedSource(t *testing.T) {
+	g := fixtureGraph(t)
+	calls := 0
+	g.ValleyFreeTraverse(100, 4, func(asn ASN, hops int) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Errorf("pruned source: %d visits, want 1", calls)
+	}
+}
+
+func TestValleyFreeTraverseUnknownSource(t *testing.T) {
+	g := fixtureGraph(t)
+	g.ValleyFreeTraverse(4242, 4, func(ASN, int) bool {
+		t.Fatal("visit called for unknown source")
+		return false
+	})
+}

@@ -1,0 +1,511 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"asap/internal/asgraph"
+	"asap/internal/bgp"
+	"asap/internal/overlay"
+	"asap/internal/transport"
+)
+
+// This file is the deployable, message-passing realization of ASAP: the
+// Bootstrap, Surrogate and EndHost actors of Section 6.1, written against
+// transport.Transport so the same code runs over the in-memory transport
+// (tests, simulation) and real TCP (cmd/asapd, examples/livenet).
+//
+// The actor layer implements join, surrogate registration, close-cluster-
+// set construction by live pinging, nodal-info publication, call setup
+// with one-hop select-close-relay, and voice forwarding through the
+// chosen relay. (Two-hop expansion lives in the algorithmic layer; the
+// daemon uses one-hop selection, which Section 7.3 shows costs only two
+// messages per call.)
+
+// BootstrapConfig seeds a bootstrap node.
+type BootstrapConfig struct {
+	// Graph is the annotated AS graph the bootstrap maintains from BGP
+	// feeds (duty 1 of Section 6.1).
+	Graph *asgraph.Graph
+	// Prefixes maps every routed prefix to its origin AS (duty 2).
+	Prefixes []PrefixOrigin
+	// K is the valley-free hop bound handed to surrogates.
+	K int
+}
+
+// PrefixOrigin is one prefix-to-origin-AS row.
+type PrefixOrigin struct {
+	Prefix string
+	ASN    asgraph.ASN
+}
+
+// Bootstrap is the dedicated always-on server actor.
+type Bootstrap struct {
+	cfg   BootstrapConfig
+	trie  bgp.Trie
+	tr    transport.Transport
+	addr  transport.Addr
+	mu    sync.Mutex
+	surro map[string]transport.Addr // cluster key -> surrogate address
+	byAS  map[asgraph.ASN][]string  // AS -> cluster keys
+	known map[string]asgraph.ASN    // cluster key -> AS
+}
+
+// NewBootstrap builds and serves a bootstrap node on addr.
+func NewBootstrap(tr transport.Transport, addr transport.Addr, cfg BootstrapConfig) (*Bootstrap, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("core: bootstrap needs an AS graph")
+	}
+	if cfg.K < 1 {
+		cfg.K = DefaultParams().K
+	}
+	b := &Bootstrap{
+		cfg:   cfg,
+		tr:    tr,
+		surro: make(map[string]transport.Addr),
+		byAS:  make(map[asgraph.ASN][]string),
+		known: make(map[string]asgraph.ASN),
+	}
+	for _, po := range cfg.Prefixes {
+		p, err := bgp.ParsePrefix(po.Prefix)
+		if err != nil {
+			return nil, fmt.Errorf("core: bootstrap prefix %q: %w", po.Prefix, err)
+		}
+		b.trie.Insert(p, po.ASN)
+		key := p.String()
+		b.known[key] = po.ASN
+		b.byAS[po.ASN] = append(b.byAS[po.ASN], key)
+	}
+	bound, err := tr.Serve(addr, b.handle)
+	if err != nil {
+		return nil, err
+	}
+	b.addr = bound
+	return b, nil
+}
+
+// Addr returns the bootstrap's bound address.
+func (b *Bootstrap) Addr() transport.Addr { return b.addr }
+
+func (b *Bootstrap) handle(from transport.Addr, req *transport.Message) (*transport.Message, error) {
+	switch req.Type {
+	case transport.MsgJoin:
+		ip, err := bgp.ParseAddr(req.IP)
+		if err != nil {
+			return nil, fmt.Errorf("core: join with bad IP %q", req.IP)
+		}
+		prefix, asn, ok := b.trie.Lookup(ip)
+		if !ok {
+			return nil, fmt.Errorf("core: no route for %s", req.IP)
+		}
+		key := prefix.String()
+		b.mu.Lock()
+		sur := b.surro[key]
+		b.mu.Unlock()
+		return &transport.Message{
+			Type:          transport.MsgJoinReply,
+			ASN:           uint32(asn),
+			ClusterKey:    key,
+			SurrogateAddr: sur, // empty => caller becomes surrogate
+		}, nil
+
+	case transport.MsgRegisterSurrogate:
+		b.mu.Lock()
+		if _, ok := b.known[req.ClusterKey]; !ok {
+			b.mu.Unlock()
+			return nil, fmt.Errorf("core: register for unknown cluster %q", req.ClusterKey)
+		}
+		b.surro[req.ClusterKey] = req.SurrogateAddr
+		b.mu.Unlock()
+		return &transport.Message{Type: transport.MsgRegisterSurrogateReply}, nil
+
+	case transport.MsgGetSurrogates:
+		// Return the surrogates of every cluster whose AS lies within K
+		// valley-free hops of the requester's AS — the bootstrap holds
+		// the graph, so surrogates need not mirror it (Section 6.1 lets
+		// either side own the BFS; serving it here keeps wire messages
+		// small).
+		if len(req.ASNs) != 1 {
+			return nil, fmt.Errorf("core: GetSurrogates wants exactly one source AS")
+		}
+		src := asgraph.ASN(req.ASNs[0])
+		reach := b.cfg.Graph.ValleyFreeBFS(src, b.cfg.K)
+		var entries []transport.CloseEntry
+		b.mu.Lock()
+		for asn := range reach.Hops {
+			for _, key := range b.byAS[asn] {
+				if sur, ok := b.surro[key]; ok {
+					entries = append(entries, transport.CloseEntry{
+						ClusterKey:    key,
+						SurrogateAddr: sur,
+					})
+				}
+			}
+		}
+		b.mu.Unlock()
+		sort.Slice(entries, func(i, j int) bool { return entries[i].ClusterKey < entries[j].ClusterKey })
+		return &transport.Message{Type: transport.MsgGetSurrogatesReply, CloseSet: entries}, nil
+
+	case transport.MsgPing:
+		return &transport.Message{Type: transport.MsgPong, SentAt: req.SentAt}, nil
+
+	default:
+		return nil, fmt.Errorf("core: bootstrap cannot handle message type %d", req.Type)
+	}
+}
+
+// NodeConfig configures an end-host/surrogate actor.
+type NodeConfig struct {
+	// IP is the node's VoIP-overlay IP address (used for clustering).
+	IP string
+	// Bootstrap is the bootstrap server's address.
+	Bootstrap transport.Addr
+	// Params are the protocol parameters (K is enforced bootstrap-side).
+	Params Params
+	// Nodal is the node's published capability information.
+	Nodal transport.NodalInfo
+}
+
+// Node is a peer actor: always an end host, and surrogate of its cluster
+// when it is the cluster's first or best member.
+type Node struct {
+	cfg  NodeConfig
+	tr   transport.Transport
+	addr transport.Addr
+
+	mu         sync.Mutex
+	asn        asgraph.ASN
+	clusterKey string
+	surrogate  transport.Addr // my cluster's surrogate (may be self)
+	isSurro    bool
+	closeSet   []transport.CloseEntry
+	// members tracks nodal info published by cluster members (surrogate
+	// role).
+	members map[transport.Addr]transport.NodalInfo
+	// flows maps relay flow IDs to their forwarding destinations.
+	flows      map[uint64]transport.Addr
+	nextFlowID uint64
+	// received collects voice payload sizes per flow (callee role).
+	received map[uint64]int
+}
+
+// NewNode builds and serves a peer on addr, then joins via the bootstrap
+// (end-host duty 1). If the cluster has no surrogate yet, the node
+// volunteers (duty 2) and registers.
+func NewNode(tr transport.Transport, addr transport.Addr, cfg NodeConfig) (*Node, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:      cfg,
+		tr:       tr,
+		members:  make(map[transport.Addr]transport.NodalInfo),
+		flows:    make(map[uint64]transport.Addr),
+		received: make(map[uint64]int),
+	}
+	bound, err := tr.Serve(addr, n.handle)
+	if err != nil {
+		return nil, err
+	}
+	n.addr = bound
+
+	// Join.
+	resp, err := tr.Call(cfg.Bootstrap, &transport.Message{
+		Type: transport.MsgJoin, From: n.addr, IP: cfg.IP,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: join: %w", err)
+	}
+	n.asn = asgraph.ASN(resp.ASN)
+	n.clusterKey = resp.ClusterKey
+	n.surrogate = resp.SurrogateAddr
+
+	if n.surrogate == "" {
+		if err := n.becomeSurrogate(); err != nil {
+			return nil, err
+		}
+	} else if n.surrogate != n.addr {
+		// Publish nodal info to the incumbent (end-host duty 3).
+		_, err := tr.Call(n.surrogate, &transport.Message{
+			Type: transport.MsgPublishNodalInfo, From: n.addr,
+			Nodal: cfg.Nodal,
+		})
+		if err != nil {
+			// Surrogate gone: volunteer.
+			if err := n.becomeSurrogate(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return n, nil
+}
+
+// Addr returns the node's bound address.
+func (n *Node) Addr() transport.Addr { return n.addr }
+
+// ClusterKey returns the node's prefix-cluster identity.
+func (n *Node) ClusterKey() string { return n.clusterKey }
+
+// IsSurrogate reports whether the node currently serves its cluster.
+func (n *Node) IsSurrogate() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.isSurro
+}
+
+func (n *Node) becomeSurrogate() error {
+	n.mu.Lock()
+	n.isSurro = true
+	n.surrogate = n.addr
+	n.mu.Unlock()
+	_, err := n.tr.Call(n.cfg.Bootstrap, &transport.Message{
+		Type: transport.MsgRegisterSurrogate, From: n.addr,
+		ClusterKey: n.clusterKey, SurrogateAddr: n.addr,
+	})
+	if err != nil {
+		return fmt.Errorf("core: register surrogate: %w", err)
+	}
+	return n.RefreshCloseSet()
+}
+
+// Ping measures the RTT to another node over the transport.
+func (n *Node) Ping(to transport.Addr) (time.Duration, error) {
+	start := time.Now()
+	resp, err := n.tr.Call(to, &transport.Message{
+		Type: transport.MsgPing, From: n.addr, SentAt: start,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if resp.Type != transport.MsgPong {
+		return 0, fmt.Errorf("core: unexpected ping reply type %d", resp.Type)
+	}
+	return time.Since(start), nil
+}
+
+// RefreshCloseSet rebuilds the close cluster set by asking the bootstrap
+// for surrogates within K valley-free AS hops and pinging each
+// (construct-close-cluster-set with the latency threshold; loss
+// thresholding needs multi-packet trains and is left to the algorithmic
+// layer).
+func (n *Node) RefreshCloseSet() error {
+	resp, err := n.tr.Call(n.cfg.Bootstrap, &transport.Message{
+		Type: transport.MsgGetSurrogates, From: n.addr,
+		ASNs: []uint32{uint32(n.asn)},
+	})
+	if err != nil {
+		return fmt.Errorf("core: get surrogates: %w", err)
+	}
+	var set []transport.CloseEntry
+	for _, e := range resp.CloseSet {
+		if e.ClusterKey == n.clusterKey {
+			continue
+		}
+		rtt, err := n.Ping(e.SurrogateAddr)
+		if err != nil || rtt >= n.cfg.Params.LatT {
+			continue
+		}
+		set = append(set, transport.CloseEntry{
+			ClusterKey:    e.ClusterKey,
+			SurrogateAddr: e.SurrogateAddr,
+			RTT:           rtt,
+		})
+	}
+	n.mu.Lock()
+	n.closeSet = set
+	n.mu.Unlock()
+	return nil
+}
+
+// CloseSet returns the node's current close cluster set, fetching it from
+// the cluster surrogate when the node is a plain member.
+func (n *Node) CloseSet() ([]transport.CloseEntry, error) {
+	n.mu.Lock()
+	isSurro := n.isSurro
+	sur := n.surrogate
+	cached := n.closeSet
+	n.mu.Unlock()
+	if isSurro {
+		return cached, nil
+	}
+	resp, err := n.tr.Call(sur, &transport.Message{
+		Type: transport.MsgGetCloseSet, From: n.addr,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: fetch close set: %w", err)
+	}
+	return resp.CloseSet, nil
+}
+
+// RelayChoice is the outcome of a live call setup.
+type RelayChoice struct {
+	// Relay is the chosen relay surrogate address; empty means direct.
+	Relay transport.Addr
+	// EstRTT is the estimated voice-path RTT.
+	EstRTT time.Duration
+	// Direct is the measured direct RTT.
+	Direct time.Duration
+	// Candidates is the number of one-hop candidates considered.
+	Candidates int
+}
+
+// SetupCall performs the Fig. 10 one-hop selection against a live callee:
+// measure direct, fetch the callee's close set (2 messages), intersect
+// with ours, and pick the lowest-estimate relay under latT.
+func (n *Node) SetupCall(callee transport.Addr) (*RelayChoice, error) {
+	direct, err := n.Ping(callee)
+	if err != nil {
+		return nil, fmt.Errorf("core: callee unreachable: %w", err)
+	}
+	choice := &RelayChoice{Relay: "", EstRTT: direct, Direct: direct}
+	if direct < n.cfg.Params.LatT {
+		return choice, nil
+	}
+	mine, err := n.CloseSet()
+	if err != nil {
+		return nil, err
+	}
+	resp, err := n.tr.Call(callee, &transport.Message{
+		Type: transport.MsgCallSetup, From: n.addr,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: call setup: %w", err)
+	}
+	theirs := make(map[string]transport.CloseEntry, len(resp.CloseSet))
+	for _, e := range resp.CloseSet {
+		theirs[e.ClusterKey] = e
+	}
+	for _, e := range mine {
+		o, ok := theirs[e.ClusterKey]
+		if !ok {
+			continue
+		}
+		est := e.RTT + o.RTT + overlay.RelayRTT
+		if est >= n.cfg.Params.LatT && est >= choice.EstRTT {
+			continue
+		}
+		choice.Candidates++
+		if est < choice.EstRTT {
+			choice.EstRTT = est
+			choice.Relay = e.SurrogateAddr
+		}
+	}
+	return choice, nil
+}
+
+// SendVoice sends a voice frame batch to the callee, through the relay
+// when choice selected one. It returns the payload bytes delivered.
+func (n *Node) SendVoice(choice *RelayChoice, callee transport.Addr, frames []byte, seq uint32) error {
+	msg := &transport.Message{
+		Type: transport.MsgVoice, From: n.addr,
+		Dst: callee, Seq: seq, Frames: frames,
+	}
+	to := callee
+	if choice.Relay != "" {
+		// Open (or reuse) a relay flow.
+		open, err := n.tr.Call(choice.Relay, &transport.Message{
+			Type: transport.MsgRelayOpen, From: n.addr, Dst: callee,
+		})
+		if err != nil {
+			return fmt.Errorf("core: relay open: %w", err)
+		}
+		msg.FlowID = open.FlowID
+		to = choice.Relay
+	}
+	resp, err := n.tr.Call(to, msg)
+	if err != nil {
+		return fmt.Errorf("core: voice send: %w", err)
+	}
+	if resp.Type != transport.MsgVoiceAck {
+		return fmt.Errorf("core: unexpected voice reply type %d", resp.Type)
+	}
+	return nil
+}
+
+// ReceivedBytes reports how many voice payload bytes this node has
+// accepted as the callee.
+func (n *Node) ReceivedBytes() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	total := 0
+	for _, v := range n.received {
+		total += v
+	}
+	return total
+}
+
+func (n *Node) handle(from transport.Addr, req *transport.Message) (*transport.Message, error) {
+	switch req.Type {
+	case transport.MsgPing:
+		return &transport.Message{Type: transport.MsgPong, SentAt: req.SentAt}, nil
+
+	case transport.MsgGetCloseSet, transport.MsgCallSetup:
+		n.mu.Lock()
+		isSurro := n.isSurro
+		set := make([]transport.CloseEntry, len(n.closeSet))
+		copy(set, n.closeSet)
+		sur := n.surrogate
+		n.mu.Unlock()
+		if req.Type == transport.MsgCallSetup && !isSurro {
+			// A plain member answers call setup with its surrogate's set.
+			resp, err := n.tr.Call(sur, &transport.Message{
+				Type: transport.MsgGetCloseSet, From: n.addr,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("core: surrogate unreachable: %w", err)
+			}
+			set = resp.CloseSet
+		}
+		reply := transport.MsgGetCloseSetReply
+		if req.Type == transport.MsgCallSetup {
+			reply = transport.MsgCallSetupReply
+		}
+		return &transport.Message{Type: reply, CloseSet: set}, nil
+
+	case transport.MsgPublishNodalInfo:
+		n.mu.Lock()
+		n.members[from] = req.Nodal
+		better := req.Nodal.BandwidthKbps/1000+req.Nodal.OnlineFor.Hours()+req.Nodal.CPUScore >
+			n.cfg.Nodal.BandwidthKbps/1000+n.cfg.Nodal.OnlineFor.Hours()+n.cfg.Nodal.CPUScore
+		n.mu.Unlock()
+		// Surrogates recommend better-equipped members (duty 5); the
+		// recommendation is advisory in this implementation.
+		_ = better
+		return &transport.Message{Type: transport.MsgPublishNodalInfoReply}, nil
+
+	case transport.MsgRelayOpen:
+		n.mu.Lock()
+		n.nextFlowID++
+		id := n.nextFlowID
+		n.flows[id] = req.Dst
+		n.mu.Unlock()
+		return &transport.Message{Type: transport.MsgRelayOpenReply, FlowID: id}, nil
+
+	case transport.MsgVoice:
+		if req.FlowID != 0 {
+			n.mu.Lock()
+			dst, ok := n.flows[req.FlowID]
+			n.mu.Unlock()
+			if ok && dst != n.addr {
+				// Relay role: forward and propagate the ack.
+				fwd := *req
+				fwd.From = n.addr
+				fwd.FlowID = 0 // terminal hop
+				return n.tr.Call(dst, &fwd)
+			}
+			if !ok {
+				return nil, fmt.Errorf("core: unknown relay flow %d", req.FlowID)
+			}
+		}
+		// Callee role: accept the batch.
+		n.mu.Lock()
+		n.received[req.FlowID] += len(req.Frames)
+		n.mu.Unlock()
+		return &transport.Message{Type: transport.MsgVoiceAck, Seq: req.Seq}, nil
+
+	default:
+		return nil, fmt.Errorf("core: node cannot handle message type %d", req.Type)
+	}
+}

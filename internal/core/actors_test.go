@@ -1,0 +1,348 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"asap/internal/asgraph"
+	"asap/internal/transport"
+)
+
+// actorWorld is a hand-built 5-cluster deployment over the fixture-style
+// AS topology:
+//
+//	AS1 -p2p- AS2; AS10 c2p AS1; AS20 c2p AS2;
+//	AS100 c2p AS10; AS200 c2p AS20; AS300 c2p {AS10, AS20}
+//
+// with prefixes 10.100/16 -> AS100, 10.200/16 -> AS200, 10.30/16 -> AS300,
+// 10.10/16 -> AS10, 10.20/16 -> AS20.
+func actorGraph() *asgraph.Graph {
+	b := asgraph.NewBuilder()
+	b.AddNode(asgraph.Node{ASN: 1, Tier: asgraph.TierT1, X: 0, Y: 0})
+	b.AddNode(asgraph.Node{ASN: 2, Tier: asgraph.TierT1, X: 1000, Y: 0})
+	b.AddNode(asgraph.Node{ASN: 10, Tier: asgraph.TierTransit, X: 0, Y: 500})
+	b.AddNode(asgraph.Node{ASN: 20, Tier: asgraph.TierTransit, X: 1000, Y: 500})
+	b.AddNode(asgraph.Node{ASN: 100, Tier: asgraph.TierStub, X: 0, Y: 1000})
+	b.AddNode(asgraph.Node{ASN: 200, Tier: asgraph.TierStub, X: 1000, Y: 1000})
+	b.AddNode(asgraph.Node{ASN: 300, Tier: asgraph.TierStub, X: 500, Y: 800})
+	b.AddEdge(1, 2, asgraph.RelP2P)
+	b.AddEdge(10, 1, asgraph.RelC2P)
+	b.AddEdge(20, 2, asgraph.RelC2P)
+	b.AddEdge(100, 10, asgraph.RelC2P)
+	b.AddEdge(200, 20, asgraph.RelC2P)
+	b.AddEdge(300, 10, asgraph.RelC2P)
+	b.AddEdge(300, 20, asgraph.RelC2P)
+	return b.Build()
+}
+
+func actorBootstrapConfig() BootstrapConfig {
+	return BootstrapConfig{
+		Graph: actorGraph(),
+		K:     4,
+		Prefixes: []PrefixOrigin{
+			{Prefix: "10.100.0.0/16", ASN: 100},
+			{Prefix: "10.200.0.0/16", ASN: 200},
+			{Prefix: "10.30.0.0/16", ASN: 300},
+			{Prefix: "10.10.0.0/16", ASN: 10},
+			{Prefix: "10.20.0.0/16", ASN: 20},
+		},
+	}
+}
+
+// latencyFor models the underlay: the multi-homed AS300 sits close to
+// both sides, while the 100<->200 direct path is slow (congested).
+func latencyFor(addrAS map[transport.Addr]int) func(from, to transport.Addr) time.Duration {
+	rtt := map[[2]int]time.Duration{
+		{100, 200}: 200 * time.Millisecond, // slow direct (one way)
+		{100, 300}: 20 * time.Millisecond,
+		{200, 300}: 20 * time.Millisecond,
+		{100, 100}: 1 * time.Millisecond,
+		{200, 200}: 1 * time.Millisecond,
+		{300, 300}: 1 * time.Millisecond,
+		{100, 0}:   5 * time.Millisecond, // to bootstrap
+		{200, 0}:   5 * time.Millisecond,
+		{300, 0}:   5 * time.Millisecond,
+	}
+	return func(from, to transport.Addr) time.Duration {
+		a, b := addrAS[from], addrAS[to]
+		if a > b {
+			a, b = b, a
+		}
+		if d, ok := rtt[[2]int{a, b}]; ok {
+			return d
+		}
+		if d, ok := rtt[[2]int{b, a}]; ok {
+			return d
+		}
+		return 2 * time.Millisecond
+	}
+}
+
+func testParams() Params {
+	p := DefaultParams()
+	p.LatT = 150 * time.Millisecond
+	return p
+}
+
+func TestActorJoinAndSurrogacy(t *testing.T) {
+	mem := transport.NewMem()
+	defer func() { _ = mem.Close() }()
+	bs, err := NewBootstrap(mem, "bs", actorBootstrapConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n1, err := NewNode(mem, "h1", NodeConfig{
+		IP: "10.100.0.1", Bootstrap: bs.Addr(), Params: testParams(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n1.IsSurrogate() {
+		t.Error("first node in cluster must volunteer as surrogate")
+	}
+	if n1.ClusterKey() != "10.100.0.0/16" {
+		t.Errorf("cluster key = %q", n1.ClusterKey())
+	}
+
+	// Second member of the same cluster is not surrogate.
+	n2, err := NewNode(mem, "h2", NodeConfig{
+		IP: "10.100.0.2", Bootstrap: bs.Addr(), Params: testParams(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2.IsSurrogate() {
+		t.Error("second member must not displace the surrogate")
+	}
+	if n2.ClusterKey() != n1.ClusterKey() {
+		t.Error("same-prefix hosts landed in different clusters")
+	}
+
+	// A member's close set comes from its surrogate.
+	if _, err := n2.CloseSet(); err != nil {
+		t.Fatalf("member close set: %v", err)
+	}
+}
+
+func TestActorJoinErrors(t *testing.T) {
+	mem := transport.NewMem()
+	defer func() { _ = mem.Close() }()
+	bs, err := NewBootstrap(mem, "bs", actorBootstrapConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewNode(mem, "hx", NodeConfig{
+		IP: "99.99.99.99", Bootstrap: bs.Addr(), Params: testParams(),
+	}); err == nil {
+		t.Error("join with unrouted IP should fail")
+	}
+	if _, err := NewNode(mem, "hy", NodeConfig{
+		IP: "not-an-ip", Bootstrap: bs.Addr(), Params: testParams(),
+	}); err == nil {
+		t.Error("join with invalid IP should fail")
+	}
+	if _, err := NewNode(mem, "hz", NodeConfig{
+		IP: "10.100.0.9", Bootstrap: "nowhere", Params: testParams(),
+	}); err == nil {
+		t.Error("join with dead bootstrap should fail")
+	}
+}
+
+// TestActorEndToEndRelayCall runs the full live protocol: three clusters
+// join, build close sets by pinging, a slow-direct call selects the
+// multi-homed middle cluster as relay, and voice flows through it.
+func TestActorEndToEndRelayCall(t *testing.T) {
+	mem := transport.NewMem()
+	defer func() { _ = mem.Close() }()
+	addrAS := map[transport.Addr]int{"bs": 0, "h1": 100, "h2": 200, "h3": 300}
+	mem.Latency = latencyFor(addrAS)
+
+	bs, err := NewBootstrap(mem, "bs", actorBootstrapConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(addr transport.Addr, ip string) *Node {
+		n, err := NewNode(mem, addr, NodeConfig{
+			IP: ip, Bootstrap: bs.Addr(), Params: testParams(),
+		})
+		if err != nil {
+			t.Fatalf("node %s: %v", addr, err)
+		}
+		return n
+	}
+	h3 := mk("h3", "10.30.0.1") // relay cluster first so others see it
+	h1 := mk("h1", "10.100.0.1")
+	h2 := mk("h2", "10.200.0.1")
+
+	// Refresh h1/h2 close sets now that every surrogate is registered.
+	if err := h1.RefreshCloseSet(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h2.RefreshCloseSet(); err != nil {
+		t.Fatal(err)
+	}
+
+	choice, err := h1.SetupCall(h2.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct is ~400ms (2x200ms one-way), over latT; the relay through
+	// h3 estimates ~2*(40+40)+40 = 200... the estimate combines two
+	// measured pings plus the relay constant — what matters is that a
+	// relay was chosen and it is h3.
+	if choice.Relay != h3.Addr() {
+		t.Fatalf("relay = %q, want %q (direct %v, est %v, candidates %d)",
+			choice.Relay, h3.Addr(), choice.Direct, choice.EstRTT, choice.Candidates)
+	}
+	if choice.Direct < 300*time.Millisecond {
+		t.Errorf("direct measurement %v suspiciously fast", choice.Direct)
+	}
+
+	payload := []byte("voice-frame-batch")
+	if err := h1.SendVoice(choice, h2.Addr(), payload, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := h2.ReceivedBytes(); got != len(payload) {
+		t.Errorf("callee received %d bytes, want %d", got, len(payload))
+	}
+	if h3.ReceivedBytes() != 0 {
+		t.Error("relay must forward, not consume, voice payloads")
+	}
+}
+
+func TestActorDirectCallWhenFast(t *testing.T) {
+	mem := transport.NewMem()
+	defer func() { _ = mem.Close() }()
+	bs, err := NewBootstrap(mem, "bs", actorBootstrapConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := NewNode(mem, "h1", NodeConfig{IP: "10.100.0.1", Bootstrap: bs.Addr(), Params: testParams()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := NewNode(mem, "h2", NodeConfig{IP: "10.200.0.1", Bootstrap: bs.Addr(), Params: testParams()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	choice, err := h1.SetupCall(h2.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.Relay != "" {
+		t.Errorf("fast direct path should not use a relay, got %q", choice.Relay)
+	}
+	if err := h1.SendVoice(choice, h2.Addr(), []byte("hi"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if h2.ReceivedBytes() != 2 {
+		t.Errorf("callee received %d bytes, want 2", h2.ReceivedBytes())
+	}
+}
+
+func TestActorOverTCP(t *testing.T) {
+	tcp := transport.NewTCP()
+	defer func() { _ = tcp.Close() }()
+	bs, err := NewBootstrap(tcp, "127.0.0.1:0", actorBootstrapConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodes []*Node
+	for i, ip := range []string{"10.100.0.1", "10.200.0.1", "10.30.0.1"} {
+		n, err := NewNode(tcp, "127.0.0.1:0", NodeConfig{
+			IP: ip, Bootstrap: bs.Addr(), Params: testParams(),
+			Nodal: transport.NodalInfo{BandwidthKbps: float64(1000 * (i + 1))},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+	for _, n := range nodes {
+		if err := n.RefreshCloseSet(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Loopback is fast: call goes direct, voice arrives.
+	choice, err := nodes[0].SetupCall(nodes[1].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nodes[0].SendVoice(choice, nodes[1].Addr(), []byte("over-tcp"), 7); err != nil {
+		t.Fatal(err)
+	}
+	if nodes[1].ReceivedBytes() != 8 {
+		t.Errorf("callee received %d bytes", nodes[1].ReceivedBytes())
+	}
+	// Ping RTT over loopback must be tiny but positive.
+	rtt, err := nodes[0].Ping(nodes[2].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtt <= 0 || rtt > time.Second {
+		t.Errorf("loopback RTT = %v", rtt)
+	}
+}
+
+func TestBootstrapValidation(t *testing.T) {
+	mem := transport.NewMem()
+	defer func() { _ = mem.Close() }()
+	if _, err := NewBootstrap(mem, "b1", BootstrapConfig{}); err == nil {
+		t.Error("bootstrap without graph should fail")
+	}
+	cfg := actorBootstrapConfig()
+	cfg.Prefixes = append(cfg.Prefixes, PrefixOrigin{Prefix: "garbage", ASN: 1})
+	if _, err := NewBootstrap(mem, "b2", cfg); err == nil {
+		t.Error("bootstrap with bad prefix should fail")
+	}
+}
+
+func TestBootstrapRejectsUnknownMessages(t *testing.T) {
+	mem := transport.NewMem()
+	defer func() { _ = mem.Close() }()
+	bs, err := NewBootstrap(mem, "bs", actorBootstrapConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mem.Call(bs.Addr(), &transport.Message{Type: transport.MsgVoice}); err == nil {
+		t.Error("bootstrap should reject voice messages")
+	}
+	if _, err := mem.Call(bs.Addr(), &transport.Message{
+		Type: transport.MsgRegisterSurrogate, ClusterKey: "1.2.3.0/24",
+	}); err == nil {
+		t.Error("register for unknown cluster should fail")
+	}
+}
+
+func TestManyNodesJoinOverMem(t *testing.T) {
+	mem := transport.NewMem()
+	defer func() { _ = mem.Close() }()
+	bs, err := NewBootstrap(mem, "bs", actorBootstrapConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	surrogates := 0
+	for i := 0; i < 30; i++ {
+		ip := fmt.Sprintf("10.100.0.%d", i+1)
+		if i%3 == 1 {
+			ip = fmt.Sprintf("10.200.0.%d", i+1)
+		}
+		if i%3 == 2 {
+			ip = fmt.Sprintf("10.30.0.%d", i+1)
+		}
+		n, err := NewNode(mem, transport.Addr(fmt.Sprintf("n%d", i)), NodeConfig{
+			IP: ip, Bootstrap: bs.Addr(), Params: testParams(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.IsSurrogate() {
+			surrogates++
+		}
+	}
+	if surrogates != 3 {
+		t.Errorf("%d surrogates for 3 clusters", surrogates)
+	}
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"asap/internal/cluster"
+	"asap/internal/overlay"
+)
+
+// OneHopCandidate is a one-hop relay choice at cluster granularity: any
+// end host of the cluster can serve as the relay, so the cluster
+// contributes len(Hosts) candidate relay paths ("for each ip in cluster of
+// r add ip to OS", Fig. 10).
+type OneHopCandidate struct {
+	Cluster cluster.ClusterID
+	// EstRTT is the estimated relay path RTT: S1[r] + S2[r] + relay delay.
+	EstRTT time.Duration
+}
+
+// TwoHopCandidate is a two-hop relay choice: any host pair drawn from the
+// two clusters ("add ip1-ip2 to TS").
+type TwoHopCandidate struct {
+	First, Second cluster.ClusterID
+	// EstRTT is S1[r1] + lat(r1,r2) + S2[r2] + two relay delays.
+	EstRTT time.Duration
+}
+
+// Selection is the result of select-close-relay for one calling session.
+type Selection struct {
+	// Direct is the caller's measured direct RTT to the callee.
+	Direct time.Duration
+	// DirectOK reports whether the direct measurement succeeded.
+	DirectOK bool
+	// OneHop candidates, sorted by estimated RTT ascending.
+	OneHop []OneHopCandidate
+	// TwoHop candidates, sorted by estimated RTT ascending.
+	TwoHop []TwoHopCandidate
+	// OneHopHosts is |OS| in end-host units.
+	OneHopHosts int
+	// TwoHopPairs is |TS| in host-pair units.
+	TwoHopPairs int64
+	// Messages is the session's signalling/probe message count
+	// (Figure 18's overhead metric).
+	Messages int64
+}
+
+// QualityPaths returns the total candidate relay paths in end-host units,
+// the paper's "number of quality paths" metric (Figures 11, 12, 17).
+func (sel *Selection) QualityPaths() int64 {
+	return int64(sel.OneHopHosts) + sel.TwoHopPairs
+}
+
+// BestEstimate returns the lowest estimated relay RTT across candidates
+// and whether any candidate exists.
+func (sel *Selection) BestEstimate() (time.Duration, bool) {
+	best := time.Duration(1<<62 - 1)
+	ok := false
+	if len(sel.OneHop) > 0 {
+		best, ok = sel.OneHop[0].EstRTT, true
+	}
+	if len(sel.TwoHop) > 0 && sel.TwoHop[0].EstRTT < best {
+		best, ok = sel.TwoHop[0].EstRTT, true
+	}
+	return best, ok
+}
+
+// SelectCloseRelay runs the Fig. 10 algorithm for a calling session from
+// h1 to h2:
+//
+//  1. h1 measures the direct RTT to h2 (ping).
+//  2. h1 fetches h2's close cluster set (2 messages).
+//  3. One-hop: for every cluster r in S1 ∩ S2 with estimated relay RTT
+//     under latT, every host of r joins the one-hop set OS.
+//  4. If |OS| < sizeT, two-hop: for each one-hop cluster r1, fetch r1's
+//     close set (2 messages each) and pair r1 with every r2 in OS1 ∩ S2
+//     whose estimated relay RTT is under latT.
+//
+// The caller's own and callee's own clusters are excluded as relays.
+func (s *System) SelectCloseRelay(h1, h2 cluster.HostID) (*Selection, error) {
+	if h1 == h2 {
+		return nil, fmt.Errorf("core: session endpoints are the same host %d", h1)
+	}
+	if !s.Alive(h1) || !s.Alive(h2) {
+		return nil, fmt.Errorf("core: session endpoint offline")
+	}
+	ha, hb := s.pop.Host(h1), s.pop.Host(h2)
+	sel := &Selection{}
+
+	// Step 1: direct measurement (system utility such as ping: 2 msgs).
+	sel.Messages += 2
+	if rtt, ok := s.prober.WithCounters(nil).HostRTT(h1, h2); ok {
+		sel.Direct, sel.DirectOK = rtt, true
+	}
+
+	s1, err := s.CloseSet(ha.Cluster)
+	if err != nil {
+		return nil, fmt.Errorf("core: caller close set: %w", err)
+	}
+	// Step 2: fetch S2 from h2 — the "one-hop relay node selection only
+	// needs 2 messages" of Section 7.3.
+	sel.Messages += 2
+	s2, err := s.CloseSet(hb.Cluster)
+	if err != nil {
+		return nil, fmt.Errorf("core: callee close set: %w", err)
+	}
+
+	// Step 3: one-hop intersection.
+	for rc, lat1 := range s1.Lat {
+		if rc == ha.Cluster || rc == hb.Cluster {
+			continue
+		}
+		lat2, ok := s2.Lat[rc]
+		if !ok {
+			continue
+		}
+		est := lat1 + lat2 + overlay.RelayRTT
+		if est >= s.params.LatT {
+			continue
+		}
+		sel.OneHop = append(sel.OneHop, OneHopCandidate{Cluster: rc, EstRTT: est})
+		sel.OneHopHosts += len(s.pop.Cluster(rc).Hosts)
+	}
+	sort.Slice(sel.OneHop, func(i, j int) bool {
+		if sel.OneHop[i].EstRTT != sel.OneHop[j].EstRTT {
+			return sel.OneHop[i].EstRTT < sel.OneHop[j].EstRTT
+		}
+		return sel.OneHop[i].Cluster < sel.OneHop[j].Cluster
+	})
+
+	// Step 4: two-hop expansion when the one-hop set is small.
+	if sel.OneHopHosts < s.params.SizeT {
+		fetch := sel.OneHop
+		if s.params.MaxTwoHopFetch > 0 && len(fetch) > s.params.MaxTwoHopFetch {
+			fetch = fetch[:s.params.MaxTwoHopFetch]
+		}
+		for _, oc := range fetch {
+			r1 := oc.Cluster
+			// h1 obtains r1's close cluster set: 2 messages.
+			sel.Messages += 2
+			os1, err := s.CloseSet(r1)
+			if err != nil {
+				continue // r1's cluster lost its surrogate; skip it
+			}
+			lat1 := s1.Lat[r1]
+			for r2, latMid := range os1.Lat {
+				if r2 == r1 || r2 == ha.Cluster || r2 == hb.Cluster {
+					continue
+				}
+				lat2, ok := s2.Lat[r2]
+				if !ok {
+					continue
+				}
+				est := lat1 + latMid + lat2 + 2*overlay.RelayRTT
+				if est >= s.params.LatT {
+					continue
+				}
+				sel.TwoHop = append(sel.TwoHop, TwoHopCandidate{First: r1, Second: r2, EstRTT: est})
+				sel.TwoHopPairs += int64(len(s.pop.Cluster(r1).Hosts)) *
+					int64(len(s.pop.Cluster(r2).Hosts))
+			}
+		}
+		sort.Slice(sel.TwoHop, func(i, j int) bool {
+			if sel.TwoHop[i].EstRTT != sel.TwoHop[j].EstRTT {
+				return sel.TwoHop[i].EstRTT < sel.TwoHop[j].EstRTT
+			}
+			if sel.TwoHop[i].First != sel.TwoHop[j].First {
+				return sel.TwoHop[i].First < sel.TwoHop[j].First
+			}
+			return sel.TwoHop[i].Second < sel.TwoHop[j].Second
+		})
+	}
+	return sel, nil
+}
+
+// PickRelays converts the best candidates into concrete relay host
+// choices for the voice path, preferring surrogate hosts as relays (they
+// are the capable, stable members). It returns up to n distinct relay
+// paths as host-ID slices (empty slice = direct). This mirrors the final
+// step of Section 6.2: "the two end hosts pick the most suitable relay
+// nodes for voice communication", and feeds path-diversity transports.
+func (s *System) PickRelays(sel *Selection, n int) [][]cluster.HostID {
+	if n <= 0 {
+		return nil
+	}
+	out := make([][]cluster.HostID, 0, n)
+	for _, oc := range sel.OneHop {
+		if len(out) >= n {
+			return out
+		}
+		if r, ok := s.Surrogate(oc.Cluster); ok {
+			out = append(out, []cluster.HostID{r})
+		}
+	}
+	for _, tc := range sel.TwoHop {
+		if len(out) >= n {
+			return out
+		}
+		r1, ok1 := s.Surrogate(tc.First)
+		r2, ok2 := s.Surrogate(tc.Second)
+		if ok1 && ok2 {
+			out = append(out, []cluster.HostID{r1, r2})
+		}
+	}
+	return out
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"asap/internal/asgraph"
+	"asap/internal/cluster"
+	"asap/internal/netmodel"
+	"asap/internal/sim"
+)
+
+// CloseSet is a cluster's close cluster set: every cluster reachable from
+// the owner's surrogate by a valley-free AS path of at most K hops whose
+// measured surrogate-to-surrogate RTT and loss are under the thresholds.
+// The measured RTT is retained — select-close-relay estimates relay-path
+// latency by summing close-set entries, which is why one-hop selection
+// needs no probing at call time.
+type CloseSet struct {
+	Owner cluster.ClusterID
+	// Lat maps each close cluster to the measured surrogate RTT.
+	Lat map[cluster.ClusterID]time.Duration
+	// BuildMessages is the probe-message cost paid to construct the set.
+	BuildMessages int64
+}
+
+// Has reports whether c is in the set.
+func (s *CloseSet) Has(c cluster.ClusterID) bool {
+	_, ok := s.Lat[c]
+	return ok
+}
+
+// Size returns the number of close clusters.
+func (s *CloseSet) Size() int { return len(s.Lat) }
+
+// System is the algorithmic view of a running ASAP deployment: surrogate
+// assignments per cluster, cached close cluster sets, and the
+// select-close-relay entry point. It plays the role of the bootstrap's
+// global knowledge plus every surrogate's local state, with message costs
+// accounted as the distributed protocol would pay them.
+//
+// System is safe for concurrent use.
+type System struct {
+	pop    *cluster.Population
+	model  *netmodel.Model
+	prober *netmodel.Prober
+	params Params
+
+	mu         sync.Mutex
+	surrogates map[cluster.ClusterID]cluster.HostID
+	failed     map[cluster.HostID]bool
+	closeSets  map[cluster.ClusterID]*CloseSet
+	buildMsgs  int64 // cumulative close-set construction cost
+}
+
+// NewSystem assembles an ASAP system over the world. The prober is the
+// measurement interface surrogates use while constructing close sets.
+func NewSystem(model *netmodel.Model, prober *netmodel.Prober, params Params) (*System, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if model.Population() == nil {
+		return nil, fmt.Errorf("core: model has no population")
+	}
+	if prober == nil {
+		return nil, fmt.Errorf("core: prober is required")
+	}
+	s := &System{
+		pop:        model.Population(),
+		model:      model,
+		prober:     prober,
+		params:     params,
+		surrogates: make(map[cluster.ClusterID]cluster.HostID),
+		failed:     make(map[cluster.HostID]bool),
+		closeSets:  make(map[cluster.ClusterID]*CloseSet),
+	}
+	// Initial surrogate election: every host publishes nodal information;
+	// the most capable host of each cluster becomes surrogate ("If there
+	// are better end hosts, recommend the better end hosts to be new
+	// surrogates"). Hosts alone in their clusters serve by default
+	// (Section 6.1, end-host duty 2).
+	for _, c := range s.pop.Clusters() {
+		s.surrogates[c.ID] = s.electLocked(c.ID)
+	}
+	return s, nil
+}
+
+// Params returns the system's protocol parameters.
+func (s *System) Params() Params { return s.params }
+
+// Population returns the underlying population.
+func (s *System) Population() *cluster.Population { return s.pop }
+
+// Model returns the ground-truth model the system was built over.
+func (s *System) Model() *netmodel.Model { return s.model }
+
+// electLocked picks the live host with the best nodal score in a cluster.
+// Returns -1 when every member has failed.
+func (s *System) electLocked(cid cluster.ClusterID) cluster.HostID {
+	c := s.pop.Cluster(cid)
+	best := cluster.HostID(-1)
+	bestScore := -1.0
+	for _, id := range c.Hosts {
+		if s.failed[id] {
+			continue
+		}
+		if sc := s.pop.Host(id).NodalScore(); sc > bestScore {
+			best, bestScore = id, sc
+		}
+	}
+	return best
+}
+
+// Surrogate returns the current surrogate of a cluster, or false when the
+// whole cluster is down.
+func (s *System) Surrogate(cid cluster.ClusterID) (cluster.HostID, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, ok := s.surrogates[cid]
+	return id, ok && id >= 0
+}
+
+// FailHost marks a host offline. If it was its cluster's surrogate, a new
+// surrogate is elected (bootstrap duty 4) and the cluster's close set is
+// dropped: the replacement rebuilds it on demand.
+func (s *System) FailHost(id cluster.HostID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failed[id] = true
+	cid := s.pop.Host(id).Cluster
+	if s.surrogates[cid] == id {
+		s.surrogates[cid] = s.electLocked(cid)
+		delete(s.closeSets, cid)
+	}
+}
+
+// ReviveHost brings a host back online and lets it publish nodal
+// information; it may displace the current surrogate if more capable.
+func (s *System) ReviveHost(id cluster.HostID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.failed, id)
+	cid := s.pop.Host(id).Cluster
+	cur := s.surrogates[cid]
+	if cur < 0 {
+		s.surrogates[cid] = id
+		delete(s.closeSets, cid)
+		return
+	}
+	if s.pop.Host(id).NodalScore() > s.pop.Host(cur).NodalScore() {
+		s.surrogates[cid] = id
+		delete(s.closeSets, cid)
+	}
+}
+
+// Alive reports whether a host is online.
+func (s *System) Alive(id cluster.HostID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.failed[id]
+}
+
+// BuildMessages returns the cumulative probe-message cost of all close
+// cluster set constructions so far — the system's amortized background
+// overhead, reported separately from per-session overhead as in
+// Section 7.3.
+func (s *System) BuildMessages() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.buildMsgs
+}
+
+// CloseSet returns the close cluster set of cid, constructing and caching
+// it on first use (in the deployed system the surrogate maintains it
+// continuously; the cache models that steady state). It returns an error
+// when the cluster has no live surrogate.
+func (s *System) CloseSet(cid cluster.ClusterID) (*CloseSet, error) {
+	s.mu.Lock()
+	if cs, ok := s.closeSets[cid]; ok {
+		s.mu.Unlock()
+		return cs, nil
+	}
+	sur, ok := s.surrogates[cid]
+	s.mu.Unlock()
+	if !ok || sur < 0 {
+		return nil, fmt.Errorf("core: cluster %d has no live surrogate", cid)
+	}
+
+	cs := s.constructCloseClusterSet(cid)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing, ok := s.closeSets[cid]; ok {
+		return existing, nil
+	}
+	s.closeSets[cid] = cs
+	s.buildMsgs += cs.BuildMessages
+	return cs, nil
+}
+
+// constructCloseClusterSet implements Fig. 9: a breadth-first search from
+// the surrogate's AS node under valley-free constraints, probing the
+// surrogate of every cluster in each reached AS and pruning expansion
+// through ASes whose clusters all miss the latency/loss thresholds.
+// ASes without any online cluster are passed through freely: there is
+// nothing to measure there and transit ASes mostly host no peers.
+func (s *System) constructCloseClusterSet(cid cluster.ClusterID) *CloseSet {
+	owner := s.pop.Cluster(cid)
+	cs := &CloseSet{
+		Owner: cid,
+		Lat:   make(map[cluster.ClusterID]time.Duration),
+	}
+	ctr := sim.NewCounters()
+	probe := s.prober.WithCounters(ctr)
+
+	s.model.Graph().ValleyFreeTraverse(owner.AS, s.params.K, func(asn asgraph.ASN, hops int) bool {
+		clusters := s.pop.ClustersInAS(asn)
+		if len(clusters) == 0 {
+			return true // nothing to probe; keep exploring through it
+		}
+		anyClose := false
+		for _, rc := range clusters {
+			if rc == cid {
+				anyClose = true // own AS is trivially close
+				continue
+			}
+			rtt, ok := probe.ClusterRTT(cid, rc)
+			if !ok || rtt >= s.params.LatT {
+				continue
+			}
+			loss, ok := probe.ClusterLoss(cid, rc)
+			if !ok || loss >= s.params.LossT {
+				continue
+			}
+			cs.Lat[rc] = rtt
+			anyClose = true
+		}
+		// Prune expansion when every probed cluster in this AS missed the
+		// thresholds (Fig. 9's "stop path expansion").
+		return anyClose
+	})
+
+	cs.BuildMessages = ctr.Total()
+	return cs
+}

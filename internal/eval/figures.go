@@ -1,0 +1,343 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"asap/internal/stats"
+)
+
+// ms converts a duration to float milliseconds.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// --- Section 3: benefits of overlay routing (Figures 2 and 3) ---
+
+// RoutingStudy holds the direct-vs-optimal-relay measurements behind
+// Figures 2(a), 2(b), 3(a) and 3(b).
+type RoutingStudy struct {
+	// DirectMs has one direct-IP RTT per reachable session.
+	DirectMs []float64
+	// PairSessions is the subset of sessions with both direct and optimal
+	// one-hop measurements (Figure 2(b)).
+	PairDirectMs []float64
+	PairOptMs    []float64
+	// ReductionRates holds r = (direct - opt)/direct for sessions where
+	// the optimal one-hop relay beats direct routing (Figure 3(a)).
+	ReductionRates []float64
+	// LatentDirectMs / LatentOptMs restrict to sessions with direct RTT
+	// over the threshold (Figure 3(b)).
+	LatentDirectMs []float64
+	LatentOptMs    []float64
+}
+
+// RunRoutingStudy measures direct RTTs for all sessions (Fig. 2(a)) and
+// optimal one-hop relays for up to pairSample sessions plus up to
+// latentCap latent sessions (Figs. 2(b), 3(a), 3(b); latentCap <= 0
+// means all). The full-population one-hop sweep is quadratic, hence the
+// bounds for the scatter figures at paper scale.
+func RunRoutingStudy(w *World, sessions []Session, pairSample int, threshold time.Duration, latentCap int) *RoutingStudy {
+	st := &RoutingStudy{}
+	type pair struct {
+		s      Session
+		direct time.Duration
+	}
+	var pairs []pair
+	latentTaken := 0
+	for i, s := range sessions {
+		direct, ok := w.DirectRTT(s)
+		if !ok {
+			continue
+		}
+		st.DirectMs = append(st.DirectMs, ms(direct))
+		latent := direct > threshold && (latentCap <= 0 || latentTaken < latentCap)
+		if latent {
+			latentTaken++
+		}
+		if i < pairSample || latent {
+			pairs = append(pairs, pair{s, direct})
+		}
+	}
+	for _, p := range pairs {
+		opt, ok := w.Engine.OptimalOneHop(p.s.A, p.s.B)
+		if !ok {
+			continue
+		}
+		st.PairDirectMs = append(st.PairDirectMs, ms(p.direct))
+		st.PairOptMs = append(st.PairOptMs, ms(opt.RTT))
+		if opt.RTT < p.direct {
+			st.ReductionRates = append(st.ReductionRates,
+				float64(p.direct-opt.RTT)/float64(p.direct))
+		}
+		if p.direct > threshold {
+			st.LatentDirectMs = append(st.LatentDirectMs, ms(p.direct))
+			st.LatentOptMs = append(st.LatentOptMs, ms(opt.RTT))
+		}
+	}
+	return st
+}
+
+// FormatFig2a renders the direct-RTT distribution summary of Fig. 2(a).
+func (st *RoutingStudy) FormatFig2a() string {
+	var b strings.Builder
+	n := len(st.DirectMs)
+	fmt.Fprintf(&b, "Figure 2(a): direct IP routing RTT distribution (n=%d sessions)\n", n)
+	for _, thr := range []float64{100, 200, 300, 500, 1000, 5000} {
+		cnt := 0
+		for _, x := range st.DirectMs {
+			if x > thr {
+				cnt++
+			}
+		}
+		fmt.Fprintf(&b, "  sessions with RTT > %5.0f ms: %7d (%.3f%%)\n",
+			thr, cnt, 100*float64(cnt)/float64(n))
+	}
+	fmt.Fprintf(&b, "  %s\n", stats.Summarize(st.DirectMs))
+	return b.String()
+}
+
+// FormatFig2b renders the direct vs optimal one-hop comparison of
+// Fig. 2(b).
+func (st *RoutingStudy) FormatFig2b() string {
+	var b strings.Builder
+	n := len(st.PairDirectMs)
+	fmt.Fprintf(&b, "Figure 2(b): direct vs optimal 1-hop RTT (n=%d sessions)\n", n)
+	faster, under100 := 0, 0
+	for i := range st.PairDirectMs {
+		if st.PairOptMs[i] < st.PairDirectMs[i] {
+			faster++
+		}
+		if st.PairOptMs[i] < 100 {
+			under100++
+		}
+	}
+	fmt.Fprintf(&b, "  sessions where optimal 1-hop beats direct: %d (%.1f%%; paper: ~60%%)\n",
+		faster, 100*float64(faster)/float64(max(n, 1)))
+	fmt.Fprintf(&b, "  optimal 1-hop RTTs below 100 ms: %d (%.1f%%; paper: most)\n",
+		under100, 100*float64(under100)/float64(max(n, 1)))
+	fmt.Fprintf(&b, "  direct: %s\n  opt1hop: %s\n",
+		stats.Summarize(st.PairDirectMs), stats.Summarize(st.PairOptMs))
+	return b.String()
+}
+
+// FormatFig3a renders the RTT reduction-rate distribution of Fig. 3(a).
+func (st *RoutingStudy) FormatFig3a() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3(a): RTT reduction rate of optimal 1-hop relay (n=%d improving sessions)\n",
+		len(st.ReductionRates))
+	fmt.Fprintf(&b, "  %s\n", stats.Summarize(st.ReductionRates))
+	h := stats.NewHistogram(st.ReductionRates, 10)
+	for i, c := range h.Counts {
+		fmt.Fprintf(&b, "  r in [%.2f,%.2f): %d\n", h.Edges[i], h.Edges[i]+h.Width, c)
+	}
+	return b.String()
+}
+
+// FormatFig3b renders the latent-session rescue figure of Fig. 3(b).
+func (st *RoutingStudy) FormatFig3b(threshold time.Duration) string {
+	var b strings.Builder
+	n := len(st.LatentDirectMs)
+	fmt.Fprintf(&b, "Figure 3(b): sessions with direct RTT > %v (n=%d)\n", threshold, n)
+	rescued := 0
+	for _, o := range st.LatentOptMs {
+		if o < ms(threshold) {
+			rescued++
+		}
+	}
+	fmt.Fprintf(&b, "  rescued by optimal 1-hop (< %v): %d/%d (paper: all)\n", threshold, rescued, n)
+	fmt.Fprintf(&b, "  latent direct: %s\n  latent opt1hop: %s\n",
+		stats.Summarize(st.LatentDirectMs), stats.Summarize(st.LatentOptMs))
+	return b.String()
+}
+
+// --- Section 7: method comparison (Figures 11-18) ---
+
+// Comparison holds per-method outcomes over a session set.
+type Comparison struct {
+	Sessions []Session
+	Order    []string
+	Outcomes map[string][]Outcome
+}
+
+// RunComparison runs every method on every session. A method error on a
+// session (e.g. an endpoint cluster lost its surrogate) skips that
+// session for that method.
+func RunComparison(methods []Method, sessions []Session) *Comparison {
+	c := &Comparison{
+		Sessions: sessions,
+		Outcomes: make(map[string][]Outcome, len(methods)),
+	}
+	for _, m := range methods {
+		c.Order = append(c.Order, m.Name())
+		outs := make([]Outcome, 0, len(sessions))
+		for _, s := range sessions {
+			o, err := m.Run(s)
+			if err != nil {
+				continue
+			}
+			outs = append(outs, o)
+		}
+		c.Outcomes[m.Name()] = outs
+	}
+	return c
+}
+
+// QualityPathSeries returns per-session quality path counts for a method.
+func (c *Comparison) QualityPathSeries(method string) []float64 {
+	outs := c.Outcomes[method]
+	xs := make([]float64, len(outs))
+	for i, o := range outs {
+		xs[i] = float64(o.QualityPaths)
+	}
+	return xs
+}
+
+// ShortestRTTSeries returns per-session shortest ground-truth relay RTTs
+// in ms (sessions with no path omitted).
+func (c *Comparison) ShortestRTTSeries(method string) []float64 {
+	var xs []float64
+	for _, o := range c.Outcomes[method] {
+		if v := o.ShortestRTTms(); !math.IsInf(v, 1) {
+			xs = append(xs, v)
+		}
+	}
+	return xs
+}
+
+// MOSSeries returns per-session highest MOS values.
+func (c *Comparison) MOSSeries(method string) []float64 {
+	outs := c.Outcomes[method]
+	xs := make([]float64, len(outs))
+	for i, o := range outs {
+		xs[i] = o.HighestMOS
+	}
+	return xs
+}
+
+// MessageSeries returns per-session message counts.
+func (c *Comparison) MessageSeries(method string) []float64 {
+	outs := c.Outcomes[method]
+	xs := make([]float64, len(outs))
+	for i, o := range outs {
+		xs[i] = float64(o.Messages)
+	}
+	return xs
+}
+
+// FormatFig11and12 renders the quality-path scatter (Fig. 11) and CDF
+// (Fig. 12).
+func (c *Comparison) FormatFig11and12() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figures 11/12: number of quality paths per latent session (n=%d)\n", len(c.Sessions))
+	for _, m := range c.Order {
+		if m == "OPT" {
+			continue // the paper plots quality-path counts for the four online methods
+		}
+		xs := c.QualityPathSeries(m)
+		fmt.Fprintf(&b, "  %-5s %s\n", m, stats.Summarize(xs))
+		for _, probe := range []float64{0, 10, 100, 1000, 10000} {
+			fmt.Fprintf(&b, "        P(paths > %6.0f) = %.3f\n", probe, stats.FractionAbove(xs, probe))
+		}
+	}
+	return b.String()
+}
+
+// FormatFig13and14 renders shortest RTTs (Fig. 13) and their CCDF
+// (Fig. 14).
+func (c *Comparison) FormatFig13and14() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figures 13/14: shortest relay-path RTT per latent session (n=%d)\n", len(c.Sessions))
+	for _, m := range c.Order {
+		xs := c.ShortestRTTSeries(m)
+		fmt.Fprintf(&b, "  %-5s %s\n", m, stats.Summarize(xs))
+		for _, probe := range []float64{115, 300, 1000} {
+			fmt.Fprintf(&b, "        P(RTT > %4.0f ms) = %.3f\n", probe, stats.FractionAbove(xs, probe))
+		}
+	}
+	return b.String()
+}
+
+// FormatFig15and16 renders the MOS figures (Figs. 15 and 16).
+func (c *Comparison) FormatFig15and16() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figures 15/16: highest MOS per latent session (G.729A+VAD, loss %.1f%%, n=%d)\n",
+		EvalLossRate*100, len(c.Sessions))
+	for _, m := range c.Order {
+		xs := c.MOSSeries(m)
+		fmt.Fprintf(&b, "  %-5s %s\n", m, stats.Summarize(xs))
+		for _, probe := range []float64{2.9, 3.6, 3.85} {
+			fmt.Fprintf(&b, "        P(MOS <= %.2f) = %.3f\n", probe, stats.FractionAtMost(xs, probe))
+		}
+	}
+	return b.String()
+}
+
+// FormatFig18 renders the overhead CDF (Fig. 18).
+func (c *Comparison) FormatFig18() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 18: per-session selection overhead in messages (n=%d)\n", len(c.Sessions))
+	for _, m := range c.Order {
+		if m == "OPT" {
+			continue // offline method; no overhead reported
+		}
+		xs := c.MessageSeries(m)
+		fmt.Fprintf(&b, "  %-5s %s\n", m, stats.Summarize(xs))
+		fmt.Fprintf(&b, "        P(msgs <= 300) = %.3f\n", stats.FractionAtMost(xs, 300))
+	}
+	return b.String()
+}
+
+// --- Figure 17: scalability ---
+
+// Scalability compares quality-path CDFs of a base and a scaled world,
+// with the scaled counts divided by the population ratio (the paper's
+// 103,625/23,366 = 4.434).
+type Scalability struct {
+	Ratio float64
+	// PerMethod maps method -> (base series, scaled-and-divided series).
+	Base   map[string][]float64
+	Scaled map[string][]float64
+	Order  []string
+}
+
+// RunScalability runs the quality-path experiment on both worlds.
+func RunScalability(base, scaled *Comparison, ratio float64) *Scalability {
+	sc := &Scalability{
+		Ratio:  ratio,
+		Base:   make(map[string][]float64),
+		Scaled: make(map[string][]float64),
+	}
+	for _, m := range base.Order {
+		if m == "OPT" {
+			continue
+		}
+		sc.Order = append(sc.Order, m)
+		sc.Base[m] = base.QualityPathSeries(m)
+		raw := scaled.QualityPathSeries(m)
+		div := make([]float64, len(raw))
+		for i, x := range raw {
+			div[i] = x / ratio
+		}
+		sc.Scaled[m] = div
+	}
+	return sc
+}
+
+// Format renders Figure 17's comparison: for a scalable method the
+// divided scaled curve matches the base curve; for the fixed-probe
+// baselines the per-capita counts collapse.
+func (sc *Scalability) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 17: quality paths at %.3fx population, divided by %.3f\n", sc.Ratio, sc.Ratio)
+	for _, m := range sc.Order {
+		base, scaled := sc.Base[m], sc.Scaled[m]
+		fmt.Fprintf(&b, "  %-5s base:   %s\n", m, stats.Summarize(base))
+		fmt.Fprintf(&b, "        scaled: %s\n", stats.Summarize(scaled))
+		bm, sm := stats.Mean(base), stats.Mean(scaled)
+		if bm > 0 {
+			fmt.Fprintf(&b, "        per-capita retention: %.2f (1.0 = perfectly scalable)\n", sm/bm)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,108 @@
+package eval
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// CSV export: every figure's raw series can be written as a CSV file so
+// external plotting tools can redraw the paper's figures directly.
+
+// writeCSV writes rows to dir/name.csv with a header.
+func writeCSV(dir, name string, header []string, rows [][]string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("eval: csv dir: %w", err)
+	}
+	path := filepath.Join(dir, name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("eval: csv create: %w", err)
+	}
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("eval: csv header: %w", err)
+	}
+	for _, r := range rows {
+		if err := w.Write(r); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("eval: csv row: %w", err)
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func f2s(x float64) string { return strconv.FormatFloat(x, 'g', 8, 64) }
+
+// WriteCSV exports the routing study's series (Figures 2-3) to dir.
+func (st *RoutingStudy) WriteCSV(dir string) error {
+	rows := make([][]string, len(st.DirectMs))
+	for i, x := range st.DirectMs {
+		rows[i] = []string{strconv.Itoa(i), f2s(x)}
+	}
+	if err := writeCSV(dir, "fig2a_direct_rtt", []string{"session", "direct_ms"}, rows); err != nil {
+		return err
+	}
+	rows = rows[:0]
+	for i := range st.PairDirectMs {
+		rows = append(rows, []string{strconv.Itoa(i), f2s(st.PairDirectMs[i]), f2s(st.PairOptMs[i])})
+	}
+	if err := writeCSV(dir, "fig2b_direct_vs_opt", []string{"session", "direct_ms", "opt1hop_ms"}, rows); err != nil {
+		return err
+	}
+	rows = rows[:0]
+	for i, r := range st.ReductionRates {
+		rows = append(rows, []string{strconv.Itoa(i), f2s(r)})
+	}
+	if err := writeCSV(dir, "fig3a_reduction_rate", []string{"session", "reduction"}, rows); err != nil {
+		return err
+	}
+	rows = rows[:0]
+	for i := range st.LatentDirectMs {
+		rows = append(rows, []string{strconv.Itoa(i), f2s(st.LatentDirectMs[i]), f2s(st.LatentOptMs[i])})
+	}
+	return writeCSV(dir, "fig3b_latent_rescue", []string{"session", "direct_ms", "opt1hop_ms"}, rows)
+}
+
+// WriteCSV exports the comparison's per-method series (Figures 11-16, 18)
+// to dir.
+func (c *Comparison) WriteCSV(dir string) error {
+	header := []string{"session", "method", "quality_paths", "shortest_rtt_ms", "highest_mos", "messages"}
+	var rows [][]string
+	for _, m := range c.Order {
+		for i, o := range c.Outcomes[m] {
+			rows = append(rows, []string{
+				strconv.Itoa(i), m,
+				strconv.FormatInt(o.QualityPaths, 10),
+				f2s(o.ShortestRTTms()),
+				f2s(o.HighestMOS),
+				strconv.FormatInt(o.Messages, 10),
+			})
+		}
+	}
+	return writeCSV(dir, "fig11_18_methods", header, rows)
+}
+
+// WriteCSV exports the scalability series (Figure 17) to dir.
+func (sc *Scalability) WriteCSV(dir string) error {
+	header := []string{"method", "arm", "session", "quality_paths"}
+	var rows [][]string
+	add := func(m, arm string, xs []float64) {
+		for i, x := range xs {
+			rows = append(rows, []string{m, arm, strconv.Itoa(i), f2s(x)})
+		}
+	}
+	for _, m := range sc.Order {
+		add(m, "base", sc.Base[m])
+		add(m, "scaled_div", sc.Scaled[m])
+	}
+	return writeCSV(dir, "fig17_scalability", header, rows)
+}

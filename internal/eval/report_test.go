@@ -1,0 +1,97 @@
+package eval
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"asap/internal/core"
+	"asap/internal/netmodel"
+)
+
+func readCSV(t *testing.T, path string) [][]string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Close() }()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestRoutingStudyWriteCSV(t *testing.T) {
+	w := buildTiny(t)
+	st := RunRoutingStudy(w, w.RandomSessions(150), 40, netmodel.QualityRTT, 0)
+	dir := t.TempDir()
+	if err := st.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"fig2a_direct_rtt", "fig2b_direct_vs_opt", "fig3a_reduction_rate", "fig3b_latent_rescue",
+	} {
+		rows := readCSV(t, filepath.Join(dir, name+".csv"))
+		if len(rows) < 1 {
+			t.Fatalf("%s: empty", name)
+		}
+	}
+	rows := readCSV(t, filepath.Join(dir, "fig2a_direct_rtt.csv"))
+	if got, want := len(rows)-1, len(st.DirectMs); got != want {
+		t.Errorf("fig2a rows = %d, want %d", got, want)
+	}
+}
+
+func TestComparisonWriteCSV(t *testing.T) {
+	w := buildTiny(t)
+	latent := w.LatentSessions(w.RandomSessions(Tiny.Sessions), netmodel.QualityRTT)
+	if len(latent) == 0 {
+		t.Skip("no latent sessions")
+	}
+	if len(latent) > 5 {
+		latent = latent[:5]
+	}
+	sys, err := w.NewASAP(core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := RunComparison([]Method{NewASAPMethod(sys, w.Engine)}, latent)
+	dir := t.TempDir()
+	if err := c.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	rows := readCSV(t, filepath.Join(dir, "fig11_18_methods.csv"))
+	if len(rows) != len(latent)+1 {
+		t.Errorf("rows = %d, want %d", len(rows), len(latent)+1)
+	}
+	if rows[0][1] != "method" {
+		t.Errorf("header = %v", rows[0])
+	}
+}
+
+func TestScalabilityWriteCSV(t *testing.T) {
+	sc := &Scalability{
+		Ratio:  2,
+		Order:  []string{"ASAP"},
+		Base:   map[string][]float64{"ASAP": {1, 2, 3}},
+		Scaled: map[string][]float64{"ASAP": {1.5, 2.5}},
+	}
+	dir := t.TempDir()
+	if err := sc.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	rows := readCSV(t, filepath.Join(dir, "fig17_scalability.csv"))
+	if len(rows) != 6 {
+		t.Errorf("rows = %d, want 6 (header + 3 base + 2 scaled)", len(rows))
+	}
+}
+
+func TestWriteCSVBadDir(t *testing.T) {
+	st := &RoutingStudy{DirectMs: []float64{1}}
+	if err := st.WriteCSV("/proc/definitely/not/writable"); err == nil {
+		t.Error("writing into unwritable dir should fail")
+	}
+}

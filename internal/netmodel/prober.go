@@ -1,0 +1,134 @@
+package netmodel
+
+import (
+	"fmt"
+	"time"
+
+	"asap/internal/cluster"
+	"asap/internal/sim"
+)
+
+// Prober is the measurement interface protocol actors are allowed to use.
+// It models the paper's tooling: King for host-pair RTT estimation
+// (DNS-based, noisy, with non-responses) and ping for loss sampling. Every
+// measurement increments message counters, which the evaluation charges to
+// the selection method (Figure 18).
+type Prober struct {
+	m *Model
+	// NoiseFrac is the relative RTT measurement error (King reports ~10%
+	// typical error against direct measurement).
+	NoiseFrac float64
+	// ResponseProb is the probability a measurement succeeds; the paper's
+	// King campaign resolved 1,498,749 of 2,130,140 pairs (~70%).
+	ResponseProb float64
+	// MessagesPerProbe is the message cost charged per measurement
+	// (a King estimate costs a pair of recursive DNS queries).
+	MessagesPerProbe int64
+
+	rng      *sim.RNG
+	counters *sim.Counters
+}
+
+// ProberConfig configures a Prober.
+type ProberConfig struct {
+	NoiseFrac        float64
+	ResponseProb     float64
+	MessagesPerProbe int64
+}
+
+// DefaultProberConfig mirrors the paper's measured King behaviour.
+func DefaultProberConfig() ProberConfig {
+	return ProberConfig{
+		NoiseFrac:        0.08,
+		ResponseProb:     0.98,
+		MessagesPerProbe: 2,
+	}
+}
+
+// NewProber builds a Prober over the ground-truth model. counters may be
+// nil when accounting is not needed.
+func NewProber(m *Model, cfg ProberConfig, rng *sim.RNG, counters *sim.Counters) (*Prober, error) {
+	if cfg.NoiseFrac < 0 || cfg.NoiseFrac >= 1 {
+		return nil, fmt.Errorf("netmodel: NoiseFrac must be in [0,1), got %g", cfg.NoiseFrac)
+	}
+	if cfg.ResponseProb <= 0 || cfg.ResponseProb > 1 {
+		return nil, fmt.Errorf("netmodel: ResponseProb must be in (0,1], got %g", cfg.ResponseProb)
+	}
+	if cfg.MessagesPerProbe < 1 {
+		return nil, fmt.Errorf("netmodel: MessagesPerProbe must be >= 1, got %d", cfg.MessagesPerProbe)
+	}
+	if counters == nil {
+		counters = sim.NewCounters()
+	}
+	return &Prober{
+		m:                m,
+		NoiseFrac:        cfg.NoiseFrac,
+		ResponseProb:     cfg.ResponseProb,
+		MessagesPerProbe: cfg.MessagesPerProbe,
+		rng:              rng,
+		counters:         counters,
+	}, nil
+}
+
+// Counters exposes the prober's message accounting.
+func (p *Prober) Counters() *sim.Counters { return p.counters }
+
+// WithCounters returns a prober sharing this one's model, noise model and
+// random stream but charging messages to ctr — used to attribute probe
+// cost to a specific session or surrogate.
+func (p *Prober) WithCounters(ctr *sim.Counters) *Prober {
+	if ctr == nil {
+		ctr = sim.NewCounters()
+	}
+	cp := *p
+	cp.counters = ctr
+	return &cp
+}
+
+func (p *Prober) noisy(rtt time.Duration) time.Duration {
+	if p.NoiseFrac == 0 {
+		return rtt
+	}
+	f := 1 + p.rng.Normal(0, p.NoiseFrac)
+	if f < 0.1 {
+		f = 0.1
+	}
+	return time.Duration(float64(rtt) * f)
+}
+
+// HostRTT measures the RTT between two hosts. ok is false when the
+// measurement got no response (the probe is still charged).
+func (p *Prober) HostRTT(a, b cluster.HostID) (time.Duration, bool) {
+	p.counters.Add("probe.host_rtt", p.MessagesPerProbe)
+	if !p.rng.Bool(p.ResponseProb) {
+		return 0, false
+	}
+	rtt, ok := p.m.HostRTT(a, b)
+	if !ok {
+		return 0, false
+	}
+	return p.noisy(rtt), true
+}
+
+// ClusterRTT measures delegate-to-delegate RTT between clusters.
+func (p *Prober) ClusterRTT(a, b cluster.ClusterID) (time.Duration, bool) {
+	p.counters.Add("probe.cluster_rtt", p.MessagesPerProbe)
+	if !p.rng.Bool(p.ResponseProb) {
+		return 0, false
+	}
+	rtt, ok := p.m.ClusterRTT(a, b)
+	if !ok {
+		return 0, false
+	}
+	return p.noisy(rtt), true
+}
+
+// ClusterLoss samples the loss rate between two clusters with a short
+// ping train.
+func (p *Prober) ClusterLoss(a, b cluster.ClusterID) (float64, bool) {
+	p.counters.Add("probe.cluster_loss", p.MessagesPerProbe)
+	if !p.rng.Bool(p.ResponseProb) {
+		return 0, false
+	}
+	return p.m.ClusterLoss(a, b)
+}

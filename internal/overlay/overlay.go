@@ -1,0 +1,247 @@
+// Package overlay computes end-to-end properties of direct and relayed
+// voice paths: RTT, loss, and MOS of one-hop and two-hop peer-relay routes,
+// plus the offline-optimal relay search (the paper's OPT method).
+//
+// Relay delay follows Section 3.2: measured forwarding delay averaged
+// ~12 ms; the paper "conservatively use[s] 20 ms as the packet relay delay,
+// and 40 ms as the round-trip relay delay".
+package overlay
+
+import (
+	"sort"
+	"time"
+
+	"asap/internal/cluster"
+	"asap/internal/netmodel"
+)
+
+// Relay delay constants (Section 3.2).
+const (
+	// RelayOneWay is the one-way forwarding delay charged per relay node.
+	RelayOneWay = 20 * time.Millisecond
+	// RelayRTT is the round-trip relay delay charged per relay node.
+	RelayRTT = 40 * time.Millisecond
+)
+
+// Kind classifies a voice path.
+type Kind int8
+
+// Path kinds.
+const (
+	// KindDirect is plain IP routing between the endpoints.
+	KindDirect Kind = iota + 1
+	// KindOneHop relays through one intermediate peer.
+	KindOneHop
+	// KindTwoHop relays through two intermediate peers.
+	KindTwoHop
+)
+
+// String returns a short label.
+func (k Kind) String() string {
+	switch k {
+	case KindDirect:
+		return "direct"
+	case KindOneHop:
+		return "1-hop"
+	case KindTwoHop:
+		return "2-hop"
+	default:
+		return "unknown"
+	}
+}
+
+// Path is one candidate voice path between two endpoints.
+type Path struct {
+	Kind Kind
+	// Relays holds the intermediate relay hosts, empty for direct paths.
+	Relays []cluster.HostID
+	RTT    time.Duration
+	Loss   float64
+}
+
+// MOS scores the path under the paper's fixed evaluation codec
+// (G.729A+VAD) at the given loss rate override; pass a negative loss to
+// use the path's own loss.
+func (p Path) MOS(lossOverride float64) float64 {
+	loss := p.Loss
+	if lossOverride >= 0 {
+		loss = lossOverride
+	}
+	return netmodel.MOSFromRTT(p.RTT, loss, netmodel.CodecG729A)
+}
+
+// Quality reports whether the path meets the RTT requirement for
+// satisfactory VoIP (RTT < 300 ms, Section 7.1).
+func (p Path) Quality() bool { return p.RTT < netmodel.QualityRTT }
+
+// Engine computes path properties against the ground-truth model.
+type Engine struct {
+	m *netmodel.Model
+}
+
+// NewEngine returns an Engine over m.
+func NewEngine(m *netmodel.Model) *Engine { return &Engine{m: m} }
+
+// Model returns the underlying ground truth.
+func (e *Engine) Model() *netmodel.Model { return e.m }
+
+// Direct returns the direct IP path between two hosts.
+func (e *Engine) Direct(a, b cluster.HostID) (Path, bool) {
+	rtt, ok := e.m.HostRTT(a, b)
+	if !ok {
+		return Path{}, false
+	}
+	loss, _ := e.m.HostLoss(a, b)
+	return Path{Kind: KindDirect, RTT: rtt, Loss: loss}, true
+}
+
+// OneHop returns the relayed path a -> r -> b.
+func (e *Engine) OneHop(a, r, b cluster.HostID) (Path, bool) {
+	r1, ok1 := e.m.HostRTT(a, r)
+	r2, ok2 := e.m.HostRTT(r, b)
+	if !ok1 || !ok2 {
+		return Path{}, false
+	}
+	l1, _ := e.m.HostLoss(a, r)
+	l2, _ := e.m.HostLoss(r, b)
+	return Path{
+		Kind:   KindOneHop,
+		Relays: []cluster.HostID{r},
+		RTT:    r1 + r2 + RelayRTT,
+		Loss:   combineLoss(l1, l2),
+	}, true
+}
+
+// TwoHop returns the relayed path a -> r1 -> r2 -> b.
+func (e *Engine) TwoHop(a, r1, r2, b cluster.HostID) (Path, bool) {
+	x1, ok1 := e.m.HostRTT(a, r1)
+	x2, ok2 := e.m.HostRTT(r1, r2)
+	x3, ok3 := e.m.HostRTT(r2, b)
+	if !ok1 || !ok2 || !ok3 {
+		return Path{}, false
+	}
+	l1, _ := e.m.HostLoss(a, r1)
+	l2, _ := e.m.HostLoss(r1, r2)
+	l3, _ := e.m.HostLoss(r2, b)
+	return Path{
+		Kind:   KindTwoHop,
+		Relays: []cluster.HostID{r1, r2},
+		RTT:    x1 + x2 + x3 + 2*RelayRTT,
+		Loss:   combineLoss(combineLoss(l1, l2), l3),
+	}, true
+}
+
+func combineLoss(a, b float64) float64 {
+	return 1 - (1-a)*(1-b)
+}
+
+// OptConfig bounds the offline-optimal search.
+type OptConfig struct {
+	// TwoHop enables the two-hop phase.
+	TwoHop bool
+	// TwoHopBeam is the number of best clusters kept per side for the
+	// two-hop pairing phase. The full quadratic sweep is intractable at
+	// paper scale; a generous beam is within measurement noise of exact
+	// (the best two-hop relays are always near-best one-hop endpoints).
+	TwoHopBeam int
+}
+
+// DefaultOptConfig enables two-hop with a 64-cluster beam.
+func DefaultOptConfig() OptConfig {
+	return OptConfig{TwoHop: true, TwoHopBeam: 64}
+}
+
+// Optimal exhaustively searches relay clusters for the lowest-RTT path
+// between a and b (the paper's OPT method: "always chooses relay nodes
+// that give the shortest overlay routing latency ... an offline method
+// with all latency data on hand through one-hop and two-hop relay paths
+// iterations"). Relays are evaluated at cluster-delegate granularity, the
+// same granularity the paper measured. The endpoints' own clusters are
+// excluded as relays.
+func (e *Engine) Optimal(a, b cluster.HostID, cfg OptConfig) (Path, bool) {
+	pop := e.m.Population()
+	ha, hb := pop.Host(a), pop.Host(b)
+
+	best, haveBest := e.Direct(a, b)
+
+	type side struct {
+		c   cluster.ClusterID
+		rtt time.Duration
+	}
+	fromA := make([]side, 0, pop.NumClusters())
+	toB := make([]side, 0, pop.NumClusters())
+
+	for _, c := range pop.Clusters() {
+		if c.ID == ha.Cluster || c.ID == hb.Cluster {
+			continue
+		}
+		r := c.Delegate
+		p, ok := e.OneHop(a, r, b)
+		if !ok {
+			continue
+		}
+		if !haveBest || p.RTT < best.RTT {
+			best, haveBest = p, true
+		}
+		if cfg.TwoHop {
+			ra, ok1 := e.m.HostRTT(a, r)
+			rb, ok2 := e.m.HostRTT(r, b)
+			if ok1 {
+				fromA = append(fromA, side{c.ID, ra})
+			}
+			if ok2 {
+				toB = append(toB, side{c.ID, rb})
+			}
+		}
+	}
+
+	if cfg.TwoHop && cfg.TwoHopBeam > 0 {
+		sort.Slice(fromA, func(i, j int) bool { return fromA[i].rtt < fromA[j].rtt })
+		sort.Slice(toB, func(i, j int) bool { return toB[i].rtt < toB[j].rtt })
+		if len(fromA) > cfg.TwoHopBeam {
+			fromA = fromA[:cfg.TwoHopBeam]
+		}
+		if len(toB) > cfg.TwoHopBeam {
+			toB = toB[:cfg.TwoHopBeam]
+		}
+		for _, s1 := range fromA {
+			for _, s2 := range toB {
+				if s1.c == s2.c {
+					continue
+				}
+				r1 := pop.Cluster(s1.c).Delegate
+				r2 := pop.Cluster(s2.c).Delegate
+				p, ok := e.TwoHop(a, r1, r2, b)
+				if !ok {
+					continue
+				}
+				if !haveBest || p.RTT < best.RTT {
+					best, haveBest = p, true
+				}
+			}
+		}
+	}
+	return best, haveBest
+}
+
+// OptimalOneHop searches only one-hop relays, returning the best relayed
+// path even when the direct path is faster (Section 3.3 compares the two).
+func (e *Engine) OptimalOneHop(a, b cluster.HostID) (Path, bool) {
+	pop := e.m.Population()
+	ha, hb := pop.Host(a), pop.Host(b)
+	var best Path
+	have := false
+	for _, c := range pop.Clusters() {
+		if c.ID == ha.Cluster || c.ID == hb.Cluster {
+			continue
+		}
+		p, ok := e.OneHop(a, c.Delegate, b)
+		if !ok {
+			continue
+		}
+		if !have || p.RTT < best.RTT {
+			best, have = p, true
+		}
+	}
+	return best, have
+}

@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Clock is a virtual simulation clock. Actors schedule events at absolute
+// virtual times; Run drains the event queue in time order. The zero value is
+// ready to use at virtual time zero.
+type Clock struct {
+	now    time.Duration
+	queue  eventQueue
+	nextID uint64
+}
+
+// Event is a scheduled callback.
+type event struct {
+	at   time.Duration
+	id   uint64 // tie-break so equal-time events run in schedule order
+	call func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].id < q[j].id
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the past
+// panics: that is always a protocol bug, not a recoverable condition.
+func (c *Clock) At(at time.Duration, fn func()) {
+	if at < c.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, c.now))
+	}
+	c.nextID++
+	heap.Push(&c.queue, &event{at: at, id: c.nextID, call: fn})
+}
+
+// After schedules fn to run d after the current virtual time.
+func (c *Clock) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	c.At(c.now+d, fn)
+}
+
+// Step runs the earliest pending event, advancing the clock to its time.
+// It reports whether an event ran.
+func (c *Clock) Step() bool {
+	if len(c.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&c.queue).(*event)
+	c.now = e.at
+	e.call()
+	return true
+}
+
+// Run drains all pending events, including events scheduled by events.
+// It returns the number of events executed.
+func (c *Clock) Run() int {
+	n := 0
+	for c.Step() {
+		n++
+	}
+	return n
+}
+
+// RunUntil drains events with time <= deadline, advancing the clock to
+// exactly deadline afterwards. It returns the number of events executed.
+func (c *Clock) RunUntil(deadline time.Duration) int {
+	n := 0
+	for len(c.queue) > 0 && c.queue[0].at <= deadline {
+		c.Step()
+		n++
+	}
+	if c.now < deadline {
+		c.now = deadline
+	}
+	return n
+}
+
+// Pending returns the number of scheduled events not yet run.
+func (c *Clock) Pending() int { return len(c.queue) }

@@ -1,0 +1,119 @@
+// Package sim provides deterministic simulation primitives shared by all
+// ASAP substrates: a seedable random number generator, a virtual clock, and
+// message/probe accounting. Every source of randomness in the repository
+// flows through sim.RNG so that experiments are reproducible bit-for-bit
+// for a given seed.
+package sim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG is a deterministic random number generator. It wraps math/rand with
+// distribution helpers used by the topology and workload generators.
+//
+// RNG is not safe for concurrent use; create one per goroutine with Split.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Split derives an independent child generator. The child's stream is a
+// deterministic function of the parent's state, so splitting is itself
+// reproducible.
+func (g *RNG) Split() *RNG {
+	return NewRNG(g.r.Int63())
+}
+
+// Int63 returns a non-negative 63-bit integer.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// Intn returns an integer in [0, n). It panics if n <= 0.
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Float64 returns a float in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Bool returns true with probability p.
+func (g *RNG) Bool(p float64) bool { return g.r.Float64() < p }
+
+// Uniform returns a float uniformly distributed in [lo, hi).
+func (g *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*g.r.Float64()
+}
+
+// Normal returns a normally distributed float with the given mean and
+// standard deviation.
+func (g *RNG) Normal(mean, stddev float64) float64 {
+	return mean + stddev*g.r.NormFloat64()
+}
+
+// Exponential returns an exponentially distributed float with the given mean.
+func (g *RNG) Exponential(mean float64) float64 {
+	return g.r.ExpFloat64() * mean
+}
+
+// Pareto returns a Pareto-distributed float with minimum xm and shape alpha.
+// Heavy-tailed distributions like this one model cluster sizes and access
+// link delays.
+func (g *RNG) Pareto(xm, alpha float64) float64 {
+	u := g.r.Float64()
+	for u == 0 {
+		u = g.r.Float64()
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// Zipf returns integers in [1, n] with Zipf-like frequency (rank-1 most
+// frequent). s is the skew parameter; s=0 degenerates to uniform.
+func (g *RNG) Zipf(n int, s float64) int {
+	if n <= 1 {
+		return 1
+	}
+	// Inverse-CDF sampling over the truncated harmonic series. n is small
+	// (cluster counts), so a linear scan is acceptable and allocation free.
+	var total float64
+	for i := 1; i <= n; i++ {
+		total += 1 / math.Pow(float64(i), s)
+	}
+	target := g.r.Float64() * total
+	var cum float64
+	for i := 1; i <= n; i++ {
+		cum += 1 / math.Pow(float64(i), s)
+		if cum >= target {
+			return i
+		}
+	}
+	return n
+}
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
+
+// Sample returns k distinct integers drawn uniformly from [0, n).
+// If k >= n it returns a permutation of all n integers.
+func (g *RNG) Sample(n, k int) []int {
+	if k >= n {
+		return g.r.Perm(n)
+	}
+	// Floyd's algorithm: O(k) expected time, no O(n) allocation.
+	chosen := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	for j := n - k; j < n; j++ {
+		t := g.r.Intn(j + 1)
+		if _, ok := chosen[t]; ok {
+			t = j
+		}
+		chosen[t] = struct{}{}
+		out = append(out, t)
+	}
+	return out
+}

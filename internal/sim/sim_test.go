@@ -1,0 +1,242 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(99), NewRNG(99)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestRNGSplitIndependent(t *testing.T) {
+	parent := NewRNG(1)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	same := 0
+	for i := 0; i < 50; i++ {
+		if c1.Int63() == c2.Int63() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Errorf("split children correlated: %d/50 equal draws", same)
+	}
+}
+
+func TestRNGUniformRange(t *testing.T) {
+	g := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		v := g.Uniform(10, 20)
+		if v < 10 || v >= 20 {
+			t.Fatalf("Uniform(10,20) = %g out of range", v)
+		}
+	}
+}
+
+func TestRNGParetoProperties(t *testing.T) {
+	g := NewRNG(4)
+	n := 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := g.Pareto(1, 2)
+		if v < 1 {
+			t.Fatalf("Pareto(1,2) = %g < xm", v)
+		}
+		sum += v
+	}
+	mean := sum / float64(n)
+	// E[X] = alpha*xm/(alpha-1) = 2 for xm=1, alpha=2.
+	if math.Abs(mean-2) > 0.25 {
+		t.Errorf("Pareto mean = %.3f, want ~2", mean)
+	}
+}
+
+func TestRNGZipfSkew(t *testing.T) {
+	g := NewRNG(5)
+	counts := make([]int, 11)
+	for i := 0; i < 10000; i++ {
+		r := g.Zipf(10, 1.0)
+		if r < 1 || r > 10 {
+			t.Fatalf("Zipf out of range: %d", r)
+		}
+		counts[r]++
+	}
+	if counts[1] <= counts[10] {
+		t.Errorf("Zipf not skewed: rank1=%d rank10=%d", counts[1], counts[10])
+	}
+	if g.Zipf(1, 1.0) != 1 || g.Zipf(0, 1.0) != 1 {
+		t.Error("Zipf(n<=1) should return 1")
+	}
+}
+
+func TestRNGSample(t *testing.T) {
+	g := NewRNG(6)
+	check := func(n, k int) bool {
+		if n < 0 || n > 500 || k < 0 || k > 500 {
+			return true
+		}
+		s := g.Sample(n, k)
+		wantLen := k
+		if k >= n {
+			wantLen = n
+		}
+		if len(s) != wantLen {
+			return false
+		}
+		seen := make(map[int]bool)
+		for _, v := range s {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClockOrdering(t *testing.T) {
+	var c Clock
+	var order []int
+	c.After(30*time.Millisecond, func() { order = append(order, 3) })
+	c.After(10*time.Millisecond, func() { order = append(order, 1) })
+	c.After(20*time.Millisecond, func() { order = append(order, 2) })
+	n := c.Run()
+	if n != 3 {
+		t.Fatalf("Run executed %d events, want 3", n)
+	}
+	for i, v := range order {
+		if v != i+1 {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if c.Now() != 30*time.Millisecond {
+		t.Errorf("Now = %v, want 30ms", c.Now())
+	}
+}
+
+func TestClockEqualTimeFIFO(t *testing.T) {
+	var c Clock
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.At(time.Second, func() { order = append(order, i) })
+	}
+	c.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events out of schedule order: %v", order)
+		}
+	}
+}
+
+func TestClockCascade(t *testing.T) {
+	var c Clock
+	hits := 0
+	var tick func()
+	tick = func() {
+		hits++
+		if hits < 5 {
+			c.After(time.Second, tick)
+		}
+	}
+	c.After(time.Second, tick)
+	c.Run()
+	if hits != 5 {
+		t.Errorf("cascade ran %d times, want 5", hits)
+	}
+	if c.Now() != 5*time.Second {
+		t.Errorf("Now = %v, want 5s", c.Now())
+	}
+}
+
+func TestClockRunUntil(t *testing.T) {
+	var c Clock
+	ran := 0
+	c.At(time.Second, func() { ran++ })
+	c.At(3*time.Second, func() { ran++ })
+	n := c.RunUntil(2 * time.Second)
+	if n != 1 || ran != 1 {
+		t.Errorf("RunUntil ran %d events, want 1", ran)
+	}
+	if c.Now() != 2*time.Second {
+		t.Errorf("Now = %v, want 2s", c.Now())
+	}
+	if c.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", c.Pending())
+	}
+}
+
+func TestClockPastSchedulingPanics(t *testing.T) {
+	var c Clock
+	c.At(time.Second, func() {})
+	c.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past did not panic")
+		}
+	}()
+	c.At(500*time.Millisecond, func() {})
+}
+
+func TestCountersBasics(t *testing.T) {
+	c := NewCounters()
+	c.Inc("probe")
+	c.Add("probe", 4)
+	c.Add("msg", 10)
+	if c.Get("probe") != 5 {
+		t.Errorf("probe = %d, want 5", c.Get("probe"))
+	}
+	if c.Total() != 15 {
+		t.Errorf("Total = %d, want 15", c.Total())
+	}
+	snap := c.Snapshot()
+	snap["probe"] = 0
+	if c.Get("probe") != 5 {
+		t.Error("Snapshot must be a copy")
+	}
+	if s := c.String(); s != "msg=10 probe=5" {
+		t.Errorf("String = %q", s)
+	}
+	c.Reset()
+	if c.Total() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestCountersZeroValueUsable(t *testing.T) {
+	var c Counters
+	c.Inc("x")
+	if c.Get("x") != 1 {
+		t.Error("zero-value Counters unusable")
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	c := NewCounters()
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 1000; j++ {
+				c.Inc("n")
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if c.Get("n") != 8000 {
+		t.Errorf("n = %d, want 8000", c.Get("n"))
+	}
+}

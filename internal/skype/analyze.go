@@ -1,0 +1,216 @@
+package skype
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"asap/internal/asgraph"
+	"asap/internal/cluster"
+)
+
+// Analysis is what the paper's trace analyzer extracted from one
+// session's capture.
+type Analysis struct {
+	Session int
+	// MajorRelay is the relay carrying the most voice packets (-1 for the
+	// direct path).
+	MajorRelay cluster.HostID
+	// MajorPathShare is the fraction of voice packets on the major path
+	// ("the major paths carry more than 90% of the total transmitted
+	// voice data packets").
+	MajorPathShare float64
+	// MajorPathRTT is the last measured RTT of the major path.
+	MajorPathRTT time.Duration
+	// Stabilization is the time of the last path switch — "the duration
+	// from session start to the time when major relay nodes are
+	// constantly used".
+	Stabilization time.Duration
+	// ProbedNodes is the number of distinct relay nodes probed (Fig 7(b)).
+	ProbedNodes int
+	// ProbedAfterStable counts distinct relays probed after stabilization
+	// (Fig 7(c)).
+	ProbedAfterStable int
+	// Switches is the total number of path switches (relay bounce).
+	Switches int
+	// SameASPairs lists probed relay pairs sharing an origin AS — the
+	// paper's Limit 2 / Table 2 evidence.
+	SameASPairs []SameASPair
+}
+
+// SameASPair is two probed relays in one AS.
+type SameASPair struct {
+	AS   asgraph.ASN
+	R1   cluster.HostID
+	R2   cluster.HostID
+	RTT1 time.Duration
+	RTT2 time.Duration
+}
+
+// Analyze processes a trace the way the paper's pcap analyzer did.
+func Analyze(tr *Trace, pop *cluster.Population) Analysis {
+	a := Analysis{Session: tr.Session, MajorRelay: -1}
+
+	// Packet accounting per path.
+	packets := make(map[cluster.HostID]int)
+	total := 0
+	for _, e := range tr.Events {
+		if e.Kind == EventPacket {
+			packets[e.Relay] += e.Packets
+			total += e.Packets
+		}
+	}
+	best := -1
+	for relay, n := range packets {
+		if n > best || (n == best && relay < a.MajorRelay) {
+			best, a.MajorRelay = n, relay
+		}
+	}
+	if total > 0 {
+		a.MajorPathShare = float64(best) / float64(total)
+	}
+
+	// Stabilization: the last switch event; 0 when the path never moved.
+	probedSet := make(map[cluster.HostID]bool)
+	probeRTT := make(map[cluster.HostID]time.Duration)
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case EventSwitch:
+			a.Switches++
+			a.Stabilization = e.At
+		case EventProbe:
+			if e.Relay >= 0 {
+				probedSet[e.Relay] = true
+				probeRTT[e.Relay] = e.RTT
+			}
+			if e.Relay == a.MajorRelay {
+				a.MajorPathRTT = e.RTT
+			}
+		}
+	}
+	a.ProbedNodes = len(probedSet)
+
+	after := make(map[cluster.HostID]bool)
+	for _, e := range tr.Events {
+		if e.Kind == EventProbe && e.Relay >= 0 && e.At > a.Stabilization {
+			after[e.Relay] = true
+		}
+	}
+	a.ProbedAfterStable = len(after)
+
+	// Same-AS probing (Limit 2): group probed relays by origin AS.
+	byAS := make(map[asgraph.ASN][]cluster.HostID)
+	for r := range probedSet {
+		asn := pop.Host(r).AS
+		byAS[asn] = append(byAS[asn], r)
+	}
+	asns := make([]asgraph.ASN, 0, len(byAS))
+	for asn := range byAS {
+		asns = append(asns, asn)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	for _, asn := range asns {
+		rs := byAS[asn]
+		if len(rs) < 2 {
+			continue
+		}
+		sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+		for i := 1; i < len(rs); i++ {
+			a.SameASPairs = append(a.SameASPairs, SameASPair{
+				AS: asn, R1: rs[0], R2: rs[i],
+				RTT1: probeRTT[rs[0]], RTT2: probeRTT[rs[i]],
+			})
+		}
+	}
+	return a
+}
+
+// TimeSeries extracts the probed-path RTT series of a trace for Fig. 6:
+// (time, relay, RTT) tuples of every probe event.
+func TimeSeries(tr *Trace) []Event {
+	var out []Event
+	for _, e := range tr.Events {
+		if e.Kind == EventProbe {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// FormatTable1 renders the session layout in the shape of Table 1.
+func FormatTable1(sites []Site, sessions []SessionPlan) string {
+	var b strings.Builder
+	b.WriteString("Table 1 (synthetic): sites and calling sessions\n")
+	for _, s := range sites {
+		fmt.Fprintf(&b, "  site %2d: host %6d AS%-6d region %d\n", s.ID, s.Host, s.AS, s.Region)
+	}
+	for _, sp := range sessions {
+		fmt.Fprintf(&b, "  session %2d: caller site %2d -> callee site %2d\n", sp.Session, sp.CallerSite, sp.CalleeSite)
+	}
+	return b.String()
+}
+
+// FormatTable2 renders same-AS probed relay pairs like Table 2.
+func FormatTable2(analyses []Analysis) string {
+	var b strings.Builder
+	b.WriteString("Table 2 (synthetic): relay nodes probed in the same AS\n")
+	found := false
+	for _, a := range analyses {
+		for _, p := range a.SameASPairs {
+			found = true
+			fmt.Fprintf(&b, "  session %2d: AS%-6d relays %d and %d, path RTTs %v / %v\n",
+				a.Session, p.AS, p.R1, p.R2,
+				p.RTT1.Round(time.Millisecond), p.RTT2.Round(time.Millisecond))
+		}
+	}
+	if !found {
+		b.WriteString("  (none observed)\n")
+	}
+	return b.String()
+}
+
+// FormatFig7 renders the stabilization-time and probe-count summaries of
+// Figure 7.
+func FormatFig7(analyses []Analysis) string {
+	var b strings.Builder
+	b.WriteString("Figure 7(a): stabilization time per session\n")
+	for _, a := range analyses {
+		fmt.Fprintf(&b, "  session %2d: %7.1fs  (switches: %d)\n",
+			a.Session, a.Stabilization.Seconds(), a.Switches)
+	}
+	b.WriteString("Figure 7(b): total probed relay nodes per session\n")
+	for _, a := range analyses {
+		fmt.Fprintf(&b, "  session %2d: %d\n", a.Session, a.ProbedNodes)
+	}
+	b.WriteString("Figure 7(c): relay nodes probed after stabilization\n")
+	for _, a := range analyses {
+		fmt.Fprintf(&b, "  session %2d: %d\n", a.Session, a.ProbedAfterStable)
+	}
+	return b.String()
+}
+
+// FormatFig6 renders the probe time series of selected sessions.
+func FormatFig6(traces []*Trace, sessions ...int) string {
+	want := make(map[int]bool, len(sessions))
+	for _, s := range sessions {
+		want[s] = true
+	}
+	var b strings.Builder
+	b.WriteString("Figure 6: relay path RTT time series\n")
+	for _, tr := range traces {
+		if len(want) > 0 && !want[tr.Session] {
+			continue
+		}
+		fmt.Fprintf(&b, "  session %d (direct %v):\n", tr.Session, tr.DirectRTT.Round(time.Millisecond))
+		for _, e := range TimeSeries(tr) {
+			label := fmt.Sprintf("relay %d", e.Relay)
+			if e.Relay < 0 {
+				label = "direct"
+			}
+			fmt.Fprintf(&b, "    t=%6.1fs %-12s rtt=%v\n",
+				e.At.Seconds(), label, e.RTT.Round(time.Millisecond))
+		}
+	}
+	return b.String()
+}

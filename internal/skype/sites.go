@@ -1,0 +1,217 @@
+package skype
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"asap/internal/asgraph"
+	"asap/internal/cluster"
+	"asap/internal/netmodel"
+	"asap/internal/sim"
+)
+
+// Site is one measurement end point, the analogue of a row of Fig. 5's
+// site table (Williamsburg, Reston, ..., Beijing, Dalian).
+type Site struct {
+	ID     int
+	Host   cluster.HostID
+	AS     asgraph.ASN
+	Region int
+}
+
+// SessionPlan is one Table 1 row: a caller-callee site pair.
+type SessionPlan struct {
+	Session    int
+	CallerSite int
+	CalleeSite int
+}
+
+// StudyLayout reproduces the paper's measurement geometry: 17 sites, the
+// first 12 in one "continent" (two regions standing in for the US east
+// coast cluster and the rest of North America), the last 5 in a distant
+// one (China); and the paper's 14 caller-callee pairs from Table 1.
+type StudyLayout struct {
+	Sites    []Site
+	Sessions []SessionPlan
+}
+
+// Table1Pairs is the paper's session list: sessions 1-14 as
+// caller-site/callee-site pairs.
+var Table1Pairs = [14][2]int{
+	{3, 5}, {1, 11}, {1, 7}, {1, 14}, {1, 3}, {1, 16}, {1, 15},
+	{1, 15}, {1, 9}, {1, 17}, {1, 13}, {1, 12}, {6, 8}, {2, 10},
+}
+
+// BuildStudyLayout picks 17 concrete hosts matching the geometry: sites
+// 1-6 share one cluster-neighborhood (Williamsburg), 7-12 spread across
+// the same continent, 13-17 sit in the most distant region (China).
+func BuildStudyLayout(pop *cluster.Population, g *asgraph.Graph, m *netmodel.Model, rng *sim.RNG) (*StudyLayout, error) {
+	// Group clusters by the coarse position of their AS.
+	type regionInfo struct {
+		id       int
+		clusters []cluster.ClusterID
+	}
+	// Partition ASes into 5 angular regions around the map centroid.
+	var cx, cy float64
+	for _, asn := range g.ASNs() {
+		n := g.Node(asn)
+		cx += n.X
+		cy += n.Y
+	}
+	cx /= float64(g.NumNodes())
+	cy /= float64(g.NumNodes())
+	regionOf := func(asn asgraph.ASN) int {
+		n := g.Node(asn)
+		ang := math.Atan2(n.Y-cy, n.X-cx)
+		r := int((ang + math.Pi) / (2 * math.Pi) * 5)
+		if r > 4 {
+			r = 4
+		}
+		return r
+	}
+	regions := make([]regionInfo, 5)
+	for i := range regions {
+		regions[i].id = i
+	}
+	for _, c := range pop.Clusters() {
+		r := regionOf(c.AS)
+		regions[r].clusters = append(regions[r].clusters, c.ID)
+	}
+	// Home region: the best-populated one. Far region: the one whose
+	// clusters' ASes are farthest from home on average.
+	home := 0
+	for i := range regions {
+		if len(regions[i].clusters) > len(regions[home].clusters) {
+			home = i
+		}
+	}
+	far, farDist := -1, -1.0
+	hx, hy := regionCentroid(g, pop, regions[home].clusters)
+	for i := range regions {
+		if i == home || len(regions[i].clusters) < 5 {
+			continue
+		}
+		x, y := regionCentroid(g, pop, regions[i].clusters)
+		d := math.Hypot(x-hx, y-hy)
+		if d > farDist {
+			far, farDist = i, d
+		}
+	}
+	if far < 0 {
+		return nil, fmt.Errorf("skype: no distant region with enough clusters")
+	}
+	if len(regions[home].clusters) < 12 {
+		return nil, fmt.Errorf("skype: home region has only %d clusters, need 12", len(regions[home].clusters))
+	}
+
+	layout := &StudyLayout{}
+	pickHost := func(cid cluster.ClusterID) cluster.HostID {
+		hs := pop.Cluster(cid).Hosts
+		return hs[rng.Intn(len(hs))]
+	}
+	// Sites 1-6: one shared cluster neighborhood (same cluster when big
+	// enough, else adjacent clusters in the home region).
+	homeClusters := regions[home].clusters
+	bigIdx := 0
+	for i, cid := range homeClusters {
+		if len(pop.Cluster(cid).Hosts) > len(pop.Cluster(homeClusters[bigIdx]).Hosts) {
+			bigIdx = i
+		}
+	}
+	big := pop.Cluster(homeClusters[bigIdx])
+	addSite := func(h cluster.HostID) {
+		hh := pop.Host(h)
+		layout.Sites = append(layout.Sites, Site{
+			ID:     len(layout.Sites) + 1,
+			Host:   h,
+			AS:     hh.AS,
+			Region: regionOf(hh.AS),
+		})
+	}
+	for i := 0; i < 6; i++ {
+		if len(big.Hosts) >= 6 {
+			addSite(big.Hosts[i])
+		} else {
+			addSite(pickHost(homeClusters[(bigIdx+i)%len(homeClusters)]))
+		}
+	}
+	// Sites 7-12: scattered across the home continent.
+	for i := 0; i < 6; i++ {
+		cid := homeClusters[rng.Intn(len(homeClusters))]
+		addSite(pickHost(cid))
+	}
+	// Sites 13-17: the far region, preferring clusters whose measured
+	// path from the home cluster is actually slow — the paper's China
+	// sites were chosen because US-China calls stressed Skype's relay
+	// selection, and slowness comes from path conditions, not pure
+	// geometry.
+	farClusters := regions[far].clusters
+	if m != nil {
+		sort.Slice(farClusters, func(i, j int) bool {
+			ri, oki := m.ClusterRTT(big.ID, farClusters[i])
+			rj, okj := m.ClusterRTT(big.ID, farClusters[j])
+			if oki != okj {
+				return oki
+			}
+			return ri > rj
+		})
+	}
+	for i := 0; i < 5; i++ {
+		idx := i
+		if idx >= len(farClusters) {
+			idx = rng.Intn(len(farClusters))
+		}
+		addSite(pickHost(farClusters[idx]))
+	}
+
+	for i, p := range Table1Pairs {
+		layout.Sessions = append(layout.Sessions, SessionPlan{
+			Session: i + 1, CallerSite: p[0], CalleeSite: p[1],
+		})
+	}
+	return layout, nil
+}
+
+func regionCentroid(g *asgraph.Graph, pop *cluster.Population, cids []cluster.ClusterID) (float64, float64) {
+	var x, y float64
+	for _, cid := range cids {
+		n := g.Node(pop.Cluster(cid).AS)
+		x += n.X
+		y += n.Y
+	}
+	x /= float64(len(cids))
+	y /= float64(len(cids))
+	return x, y
+}
+
+// RunStudy simulates all 14 sessions of the layout and analyzes them.
+func RunStudy(c *Client, layout *StudyLayout, pop *cluster.Population) ([]*Trace, []Analysis, error) {
+	var traces []*Trace
+	var analyses []Analysis
+	for _, sp := range layout.Sessions {
+		caller := layout.Sites[sp.CallerSite-1].Host
+		callee := layout.Sites[sp.CalleeSite-1].Host
+		if caller == callee {
+			// Same host picked for both sites (small worlds); nudge the
+			// callee to another member of its cluster when possible.
+			hs := pop.Cluster(pop.Host(callee).Cluster).Hosts
+			for _, h := range hs {
+				if h != caller {
+					callee = h
+					break
+				}
+			}
+			if caller == callee {
+				continue
+			}
+		}
+		tr, err := c.Call(sp.Session, caller, callee)
+		if err != nil {
+			return nil, nil, fmt.Errorf("skype: session %d: %w", sp.Session, err)
+		}
+		traces = append(traces, tr)
+		analyses = append(analyses, Analyze(tr, pop))
+	}
+	return traces, analyses, nil
+}

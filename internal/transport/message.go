@@ -1,0 +1,114 @@
+package transport
+
+import "time"
+
+// MsgType enumerates the ASAP wire protocol messages (Section 6.1's node
+// operations plus voice forwarding).
+type MsgType int8
+
+// Message types.
+const (
+	// MsgError carries a remote handler error back to the caller.
+	MsgError MsgType = iota + 1
+
+	// MsgJoin: end host -> bootstrap. Carries the host's IP; the reply
+	// (MsgJoinReply) returns its ASN and its cluster surrogate's address.
+	MsgJoin
+	MsgJoinReply
+
+	// MsgRegisterSurrogate: surrogate -> bootstrap. Announces that the
+	// sender serves a prefix cluster.
+	MsgRegisterSurrogate
+	MsgRegisterSurrogateReply
+
+	// MsgGetSurrogates: surrogate/end host -> bootstrap. Resolves the
+	// surrogate addresses of clusters in the given ASes (used during
+	// close-cluster-set construction).
+	MsgGetSurrogates
+	MsgGetSurrogatesReply
+
+	// MsgGetCloseSet: end host -> surrogate (or end host). Returns the
+	// cluster's close cluster set.
+	MsgGetCloseSet
+	MsgGetCloseSetReply
+
+	// MsgPublishNodalInfo: end host -> surrogate. Periodic nodal
+	// information (bandwidth, uptime, CPU).
+	MsgPublishNodalInfo
+	MsgPublishNodalInfoReply
+
+	// MsgPing: any -> any. Latency measurement.
+	MsgPing
+	MsgPong
+
+	// MsgCallSetup: caller -> callee. Requests the callee's close
+	// cluster set to run select-close-relay.
+	MsgCallSetup
+	MsgCallSetupReply
+
+	// MsgRelayOpen: endpoint -> relay. Asks the relay to forward a voice
+	// flow to the given destination.
+	MsgRelayOpen
+	MsgRelayOpenReply
+
+	// MsgVoice: endpoint -> relay -> endpoint. A batch of voice frames.
+	MsgVoice
+	MsgVoiceAck
+)
+
+// CloseEntry is one close-cluster-set entry on the wire.
+type CloseEntry struct {
+	// ClusterKey is the cluster's IP prefix in CIDR notation — the
+	// cluster's global identity in the deployed system.
+	ClusterKey string
+	// SurrogateAddr is the cluster surrogate's transport address.
+	SurrogateAddr Addr
+	// RTT is the measured surrogate-to-surrogate round-trip time.
+	RTT time.Duration
+}
+
+// NodalInfo mirrors Section 6.1's published node attributes.
+type NodalInfo struct {
+	BandwidthKbps float64
+	OnlineFor     time.Duration
+	CPUScore      float64
+}
+
+// Message is the single wire envelope. Fields are a tagged union keyed by
+// Type; gob encodes nil/zero fields compactly, and one struct keeps the
+// protocol simple to evolve and debug.
+type Message struct {
+	Type MsgType
+	From Addr
+
+	// Error is set with MsgError.
+	Error string
+
+	// IP is the joining host's address (MsgJoin) or ping payload marker.
+	IP string
+	// ASN is the origin AS number (MsgJoinReply).
+	ASN uint32
+	// ClusterKey identifies a prefix cluster (join/register/close-set).
+	ClusterKey string
+	// SurrogateAddr is a surrogate's transport address (MsgJoinReply,
+	// MsgRegisterSurrogate).
+	SurrogateAddr Addr
+	// ASNs carries the AS list of MsgGetSurrogates.
+	ASNs []uint32
+	// CloseSet carries close-cluster-set entries
+	// (MsgGetCloseSetReply, MsgGetSurrogatesReply reuses the entry shape
+	// with RTT zero, MsgCallSetupReply).
+	CloseSet []CloseEntry
+	// Nodal carries MsgPublishNodalInfo attributes.
+	Nodal NodalInfo
+	// SentAt timestamps pings for RTT computation on the caller side.
+	SentAt time.Time
+	// Dst is the forwarding destination (MsgRelayOpen, MsgVoice).
+	Dst Addr
+	// FlowID identifies a relayed voice flow.
+	FlowID uint64
+	// Seq is the first frame sequence number in a voice batch.
+	Seq uint32
+	// Frames is the opaque voice payload batch.
+	Frames []byte
+}

@@ -1,0 +1,236 @@
+// Package transport provides the message layer the runnable ASAP daemon
+// speaks: a request/response Transport interface with two
+// implementations — an in-memory transport for simulation and tests, and
+// a TCP transport (stdlib net, gob-framed) for real deployments — plus
+// the ASAP wire-message schema.
+//
+// The protocol actors in internal/core/actors.go are written against the
+// Transport interface only, so the same code runs simulated and live.
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Addr identifies a node ("host:port" for TCP, any unique string for the
+// in-memory transport).
+type Addr string
+
+// Handler processes one request and returns a response.
+type Handler func(from Addr, req *Message) (*Message, error)
+
+// Transport sends requests and registers handlers.
+type Transport interface {
+	// Serve registers the handler for an address and starts accepting
+	// requests. It returns the bound address (useful for ":0" listens).
+	Serve(addr Addr, h Handler) (Addr, error)
+	// Call sends a request and waits for the response.
+	Call(to Addr, req *Message) (*Message, error)
+	// Close stops all serving.
+	Close() error
+}
+
+// ErrUnreachable is returned when the destination does not answer.
+var ErrUnreachable = errors.New("transport: unreachable")
+
+// --- In-memory transport ---
+
+// Mem is an in-process transport with optional synthetic latency. It is
+// safe for concurrent use.
+type Mem struct {
+	mu       sync.RWMutex
+	handlers map[Addr]Handler
+	closed   bool
+	// Latency, if set, returns the one-way delay between two addresses;
+	// Call sleeps twice that.
+	Latency func(from, to Addr) time.Duration
+}
+
+// NewMem returns an empty in-memory transport.
+func NewMem() *Mem {
+	return &Mem{handlers: make(map[Addr]Handler)}
+}
+
+// Serve implements Transport.
+func (m *Mem) Serve(addr Addr, h Handler) (Addr, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return "", errors.New("transport: closed")
+	}
+	if _, ok := m.handlers[addr]; ok {
+		return "", fmt.Errorf("transport: address %q already bound", addr)
+	}
+	m.handlers[addr] = h
+	return addr, nil
+}
+
+// Call implements Transport.
+func (m *Mem) Call(to Addr, req *Message) (*Message, error) {
+	m.mu.RLock()
+	h := m.handlers[to]
+	lat := m.Latency
+	closed := m.closed
+	m.mu.RUnlock()
+	if closed || h == nil {
+		return nil, fmt.Errorf("%w: %s", ErrUnreachable, to)
+	}
+	if lat != nil {
+		time.Sleep(2 * lat(req.From, to))
+	}
+	resp, err := h(req.From, req)
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Close implements Transport.
+func (m *Mem) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	m.handlers = make(map[Addr]Handler)
+	return nil
+}
+
+// --- TCP transport ---
+
+// TCP is a length-prefixed gob transport over real sockets. Each Call
+// opens a fresh connection: simple, correct, and adequate for control
+// traffic (voice forwarding batches packets per message).
+type TCP struct {
+	mu        sync.Mutex
+	listeners []net.Listener
+	wg        sync.WaitGroup
+	// DialTimeout bounds connection setup (default 5s).
+	DialTimeout time.Duration
+}
+
+// NewTCP returns a TCP transport.
+func NewTCP() *TCP {
+	return &TCP{DialTimeout: 5 * time.Second}
+}
+
+// Serve implements Transport: it listens on addr (e.g. "127.0.0.1:0")
+// and dispatches each inbound request to h.
+func (t *TCP) Serve(addr Addr, h Handler) (Addr, error) {
+	ln, err := net.Listen("tcp", string(addr))
+	if err != nil {
+		return "", fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	t.mu.Lock()
+	t.listeners = append(t.listeners, ln)
+	t.mu.Unlock()
+
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			t.wg.Add(1)
+			go func() {
+				defer t.wg.Done()
+				defer func() { _ = conn.Close() }()
+				req, err := readFrame(conn)
+				if err != nil {
+					return
+				}
+				resp, err := h(req.From, req)
+				if err != nil {
+					resp = &Message{Type: MsgError, Error: err.Error()}
+				}
+				_ = writeFrame(conn, resp)
+			}()
+		}
+	}()
+	return Addr(ln.Addr().String()), nil
+}
+
+// Call implements Transport.
+func (t *TCP) Call(to Addr, req *Message) (*Message, error) {
+	conn, err := net.DialTimeout("tcp", string(to), t.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, to, err)
+	}
+	defer func() { _ = conn.Close() }()
+	if err := writeFrame(conn, req); err != nil {
+		return nil, err
+	}
+	resp, err := readFrame(conn)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type == MsgError {
+		return nil, fmt.Errorf("transport: remote error: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// Close implements Transport: stops all listeners and waits for inflight
+// handlers.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	for _, ln := range t.listeners {
+		_ = ln.Close()
+	}
+	t.listeners = nil
+	t.mu.Unlock()
+	t.wg.Wait()
+	return nil
+}
+
+const maxFrame = 16 << 20
+
+func writeFrame(w io.Writer, m *Message) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return fmt.Errorf("transport: encode: %w", err)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(buf.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: write header: %w", err)
+	}
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("transport: write body: %w", err)
+	}
+	return nil
+}
+
+func readFrame(r io.Reader) (*Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("transport: read header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("transport: frame too large: %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("transport: read body: %w", err)
+	}
+	var m Message
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&m); err != nil {
+		return nil, fmt.Errorf("transport: decode: %w", err)
+	}
+	return &m, nil
+}
+
+// Interface compliance checks.
+var (
+	_ Transport = (*Mem)(nil)
+	_ Transport = (*TCP)(nil)
+)

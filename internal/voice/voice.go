@@ -1,0 +1,334 @@
+// Package voice implements the voice-transmission techniques the paper
+// says "can be used in combination with ASAP" (Section 6.2): path
+// switching [Tao et al., INFOCOM'05] and packet path diversity
+// [Liang-Steinbach-Girod; Nguyen-Zakhor]. It simulates an RTP-like frame
+// stream over the candidate relay paths select-close-relay produced,
+// with per-path loss and jitter, a playout buffer, and E-Model scoring
+// of what the listener actually experienced.
+package voice
+
+import (
+	"fmt"
+	"time"
+
+	"asap/internal/cluster"
+	"asap/internal/netmodel"
+	"asap/internal/overlay"
+	"asap/internal/sim"
+)
+
+// PathID indexes a candidate path within a Call.
+type PathID int
+
+// Stream parameters for a G.729A-like codec.
+const (
+	// FrameInterval is the packetization interval (two 10 ms frames).
+	FrameInterval = 20 * time.Millisecond
+	// PlayoutBudget is the jitter-buffer depth: a frame arriving later
+	// than its deadline + budget counts as lost to the listener.
+	PlayoutBudget = 60 * time.Millisecond
+)
+
+// Path is one usable voice path with its ground-truth behaviour.
+type Path struct {
+	// Relays holds the relay hosts (empty = direct).
+	Relays []cluster.HostID
+	// RTT and Loss are the path's ground-truth properties.
+	RTT  time.Duration
+	Loss float64
+}
+
+// FromOverlay converts an overlay.Path.
+func FromOverlay(p overlay.Path) Path {
+	return Path{Relays: p.Relays, RTT: p.RTT, Loss: p.Loss}
+}
+
+// Config tunes the call simulation.
+type Config struct {
+	// Duration is the call length.
+	Duration time.Duration
+	// JitterFrac is the per-packet one-way delay jitter.
+	JitterFrac float64
+	// MonitorInterval is how often the path switcher re-evaluates.
+	MonitorInterval time.Duration
+	// SwitchLossThreshold triggers a switch when the active path's
+	// recent loss exceeds it.
+	SwitchLossThreshold float64
+	// SwitchRTTThreshold triggers a switch when the active path's recent
+	// RTT exceeds it.
+	SwitchRTTThreshold time.Duration
+}
+
+// DefaultConfig returns sensible call parameters.
+func DefaultConfig() Config {
+	return Config{
+		Duration:            60 * time.Second,
+		JitterFrac:          0.08,
+		MonitorInterval:     2 * time.Second,
+		SwitchLossThreshold: 0.03,
+		SwitchRTTThreshold:  netmodel.QualityRTT,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Duration <= 0:
+		return fmt.Errorf("voice: Duration must be > 0")
+	case c.JitterFrac < 0 || c.JitterFrac >= 1:
+		return fmt.Errorf("voice: JitterFrac must be in [0,1)")
+	case c.MonitorInterval <= 0:
+		return fmt.Errorf("voice: MonitorInterval must be > 0")
+	case c.SwitchLossThreshold <= 0 || c.SwitchLossThreshold >= 1:
+		return fmt.Errorf("voice: SwitchLossThreshold must be in (0,1)")
+	case c.SwitchRTTThreshold <= 0:
+		return fmt.Errorf("voice: SwitchRTTThreshold must be > 0")
+	}
+	return nil
+}
+
+// Report summarizes the listener's experience of a finished call.
+type Report struct {
+	// FramesSent and FramesPlayed count codec frames end to end.
+	FramesSent   int
+	FramesPlayed int
+	// EffectiveLoss is 1 - played/sent: network loss plus late arrivals.
+	EffectiveLoss float64
+	// MeanDelay is the mean one-way mouth-to-network delay of played
+	// frames.
+	MeanDelay time.Duration
+	// MOS is the listener-experienced E-Model score.
+	MOS float64
+	// Switches counts active-path changes (path switching mode).
+	Switches int
+	// PathUse maps each path to the number of frames sent on it.
+	PathUse map[PathID]int
+}
+
+// Call simulates voice transmission over candidate paths.
+type Call struct {
+	cfg   Config
+	paths []Path
+	rng   *sim.RNG
+}
+
+// NewCall builds a call over the candidate paths (at least one).
+func NewCall(paths []Path, cfg Config, rng *sim.RNG) (*Call, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("voice: need at least one path")
+	}
+	cp := make([]Path, len(paths))
+	copy(cp, paths)
+	return &Call{cfg: cfg, paths: cp, rng: rng}, nil
+}
+
+// frameOutcome is one transmitted frame's fate on one path.
+type frameOutcome struct {
+	arrived bool
+	delay   time.Duration // one-way, including jitter
+}
+
+// sendFrame simulates one frame on one path. A Condition spike active on
+// the path (degradation injection) is layered in by the caller through
+// lossBoost/delayBoost.
+func (c *Call) sendFrame(p Path, lossBoost float64, delayBoost time.Duration) frameOutcome {
+	loss := p.Loss + lossBoost
+	if c.rng.Bool(loss) {
+		return frameOutcome{arrived: false}
+	}
+	oneWay := p.RTT/2 + delayBoost
+	j := 1 + c.rng.Normal(0, c.cfg.JitterFrac)
+	if j < 0.3 {
+		j = 0.3
+	}
+	return frameOutcome{arrived: true, delay: time.Duration(float64(oneWay) * j)}
+}
+
+// Degradation injects a mid-call impairment on one path, exercising the
+// switching logic (the paper's Skype study saw relay quality drift
+// mid-call; ASAP + path switching reacts).
+type Degradation struct {
+	Path      PathID
+	At        time.Duration
+	ExtraLoss float64
+	ExtraRTT  time.Duration
+}
+
+// RunSwitching plays the call in path-switching mode [20]: frames go to
+// one active path; a monitor samples recent loss and RTT and fails over
+// to the best alternative when thresholds are breached.
+func (c *Call) RunSwitching(degradations []Degradation) Report {
+	rep := Report{PathUse: make(map[PathID]int)}
+	active := c.bestPathID()
+	var winSent, winLost int
+	var winDelay time.Duration
+	var totalDelay time.Duration
+
+	baseline := c.bestOtherThan(-1) // best overall, for reference
+	_ = baseline
+
+	deg := make(map[PathID]Degradation)
+	steps := int(c.cfg.Duration / FrameInterval)
+	monitorEvery := int(c.cfg.MonitorInterval / FrameInterval)
+	if monitorEvery < 1 {
+		monitorEvery = 1
+	}
+	for i := 0; i < steps; i++ {
+		now := time.Duration(i) * FrameInterval
+		for _, d := range degradations {
+			if d.At <= now {
+				deg[d.Path] = d
+			}
+		}
+		var lossBoost float64
+		var delayBoost time.Duration
+		if d, ok := deg[active]; ok {
+			lossBoost, delayBoost = d.ExtraLoss, d.ExtraRTT/2
+		}
+		out := c.sendFrame(c.paths[active], lossBoost, delayBoost)
+		rep.FramesSent++
+		rep.PathUse[active]++
+		winSent++
+		if !out.arrived || out.delay > c.paths[active].RTT/2+delayBoost+PlayoutBudget {
+			winLost++
+		} else {
+			rep.FramesPlayed++
+			totalDelay += out.delay
+			winDelay += out.delay
+		}
+
+		if (i+1)%monitorEvery == 0 {
+			played := winSent - winLost
+			var meanRTT time.Duration
+			if played > 0 {
+				meanRTT = 2 * winDelay / time.Duration(played)
+			}
+			lossRate := float64(winLost) / float64(winSent)
+			if lossRate > c.cfg.SwitchLossThreshold || meanRTT > c.cfg.SwitchRTTThreshold {
+				next := c.bestOtherThan(active)
+				if next != active {
+					active = next
+					rep.Switches++
+				}
+			}
+			winSent, winLost, winDelay = 0, 0, 0
+		}
+	}
+	c.finish(&rep, totalDelay)
+	return rep
+}
+
+// RunDiversity plays the call in path-diversity mode [15][19]: every
+// frame is sent on the two best relay-disjoint paths; the listener plays
+// whichever copy arrives first within the playout budget.
+func (c *Call) RunDiversity(degradations []Degradation) Report {
+	rep := Report{PathUse: make(map[PathID]int)}
+	p1 := c.bestPathID()
+	p2 := c.bestDisjointFrom(p1)
+
+	deg := make(map[PathID]Degradation)
+	steps := int(c.cfg.Duration / FrameInterval)
+	var totalDelay time.Duration
+	for i := 0; i < steps; i++ {
+		now := time.Duration(i) * FrameInterval
+		for _, d := range degradations {
+			if d.At <= now {
+				deg[d.Path] = d
+			}
+		}
+		rep.FramesSent++
+		best := frameOutcome{}
+		for _, pid := range []PathID{p1, p2} {
+			if pid < 0 {
+				continue
+			}
+			var lossBoost float64
+			var delayBoost time.Duration
+			if d, ok := deg[pid]; ok {
+				lossBoost, delayBoost = d.ExtraLoss, d.ExtraRTT/2
+			}
+			out := c.sendFrame(c.paths[pid], lossBoost, delayBoost)
+			rep.PathUse[pid]++
+			late := out.arrived && out.delay > c.paths[pid].RTT/2+delayBoost+PlayoutBudget
+			if out.arrived && !late && (!best.arrived || out.delay < best.delay) {
+				best = out
+			}
+		}
+		if best.arrived {
+			rep.FramesPlayed++
+			totalDelay += best.delay
+		}
+	}
+	c.finish(&rep, totalDelay)
+	return rep
+}
+
+func (c *Call) finish(rep *Report, totalDelay time.Duration) {
+	if rep.FramesSent > 0 {
+		rep.EffectiveLoss = 1 - float64(rep.FramesPlayed)/float64(rep.FramesSent)
+	}
+	if rep.FramesPlayed > 0 {
+		rep.MeanDelay = totalDelay / time.Duration(rep.FramesPlayed)
+	}
+	rep.MOS = netmodel.MOS(rep.MeanDelay, rep.EffectiveLoss, netmodel.CodecG729A)
+}
+
+func (c *Call) bestPathID() PathID {
+	best := PathID(0)
+	for i := 1; i < len(c.paths); i++ {
+		if c.paths[i].RTT < c.paths[best].RTT {
+			best = PathID(i)
+		}
+	}
+	return best
+}
+
+// bestOtherThan returns the lowest-RTT path excluding exclude (returns
+// exclude itself when it is the only path).
+func (c *Call) bestOtherThan(exclude PathID) PathID {
+	best := PathID(-1)
+	for i := range c.paths {
+		if PathID(i) == exclude {
+			continue
+		}
+		if best < 0 || c.paths[i].RTT < c.paths[best].RTT {
+			best = PathID(i)
+		}
+	}
+	if best < 0 {
+		return exclude
+	}
+	return best
+}
+
+// bestDisjointFrom returns the best path sharing no relay host with p,
+// or -1 when none exists.
+func (c *Call) bestDisjointFrom(p PathID) PathID {
+	used := make(map[cluster.HostID]bool)
+	for _, r := range c.paths[p].Relays {
+		used[r] = true
+	}
+	best := PathID(-1)
+	for i := range c.paths {
+		if PathID(i) == p {
+			continue
+		}
+		disjoint := true
+		for _, r := range c.paths[i].Relays {
+			if used[r] {
+				disjoint = false
+				break
+			}
+		}
+		if !disjoint {
+			continue
+		}
+		if best < 0 || c.paths[i].RTT < c.paths[best].RTT {
+			best = PathID(i)
+		}
+	}
+	return best
+}

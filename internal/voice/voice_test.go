@@ -1,0 +1,179 @@
+package voice
+
+import (
+	"testing"
+	"time"
+
+	"asap/internal/cluster"
+	"asap/internal/netmodel"
+	"asap/internal/overlay"
+	"asap/internal/sim"
+)
+
+func goodPath() Path {
+	return Path{Relays: []cluster.HostID{1}, RTT: 120 * time.Millisecond, Loss: 0.003}
+}
+
+func okPath() Path {
+	return Path{Relays: []cluster.HostID{2}, RTT: 180 * time.Millisecond, Loss: 0.005}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	muts := []func(*Config){
+		func(c *Config) { c.Duration = 0 },
+		func(c *Config) { c.JitterFrac = 1 },
+		func(c *Config) { c.MonitorInterval = 0 },
+		func(c *Config) { c.SwitchLossThreshold = 0 },
+		func(c *Config) { c.SwitchRTTThreshold = 0 },
+	}
+	for i, mut := range muts {
+		cfg := DefaultConfig()
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d should fail", i)
+		}
+	}
+}
+
+func TestNewCallNeedsPaths(t *testing.T) {
+	if _, err := NewCall(nil, DefaultConfig(), sim.NewRNG(1)); err == nil {
+		t.Error("empty path list should fail")
+	}
+}
+
+func TestCleanCallHighMOS(t *testing.T) {
+	c, err := NewCall([]Path{goodPath(), okPath()}, DefaultConfig(), sim.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := c.RunSwitching(nil)
+	if rep.FramesSent != int(DefaultConfig().Duration/FrameInterval) {
+		t.Errorf("FramesSent = %d", rep.FramesSent)
+	}
+	if rep.MOS < 3.8 {
+		t.Errorf("clean call MOS = %.2f, want >= 3.8", rep.MOS)
+	}
+	if rep.Switches != 0 {
+		t.Errorf("clean call switched %d times", rep.Switches)
+	}
+	if rep.EffectiveLoss > 0.02 {
+		t.Errorf("clean call loss = %.3f", rep.EffectiveLoss)
+	}
+	// All frames on the best (lowest-RTT) path.
+	if rep.PathUse[0] != rep.FramesSent {
+		t.Errorf("path use = %v", rep.PathUse)
+	}
+}
+
+func TestSwitchingReactsToDegradation(t *testing.T) {
+	cfg := DefaultConfig()
+	c, err := NewCall([]Path{goodPath(), okPath()}, cfg, sim.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := []Degradation{{
+		Path: 0, At: 10 * time.Second, ExtraLoss: 0.30, ExtraRTT: 400 * time.Millisecond,
+	}}
+	rep := c.RunSwitching(deg)
+	if rep.Switches == 0 {
+		t.Fatal("no switch despite severe degradation")
+	}
+	if rep.PathUse[1] == 0 {
+		t.Fatal("backup path never used")
+	}
+
+	// Without switching (single path), the same degradation ruins MOS.
+	solo, err := NewCall([]Path{goodPath()}, cfg, sim.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	repSolo := solo.RunSwitching(deg)
+	if rep.MOS <= repSolo.MOS {
+		t.Errorf("switching MOS %.2f <= stuck MOS %.2f", rep.MOS, repSolo.MOS)
+	}
+}
+
+func TestDiversityMasksLoss(t *testing.T) {
+	cfg := DefaultConfig()
+	lossy1 := Path{Relays: []cluster.HostID{1}, RTT: 150 * time.Millisecond, Loss: 0.10}
+	lossy2 := Path{Relays: []cluster.HostID{2}, RTT: 160 * time.Millisecond, Loss: 0.10}
+	div, err := NewCall([]Path{lossy1, lossy2}, cfg, sim.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := div.RunDiversity(nil)
+	// Independent 10% losses combine to ~1%.
+	if rep.EffectiveLoss > 0.04 {
+		t.Errorf("diversity loss = %.3f, want ~0.01", rep.EffectiveLoss)
+	}
+	solo, err := NewCall([]Path{lossy1}, cfg, sim.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	repSolo := solo.RunSwitching(nil)
+	if rep.MOS <= repSolo.MOS {
+		t.Errorf("diversity MOS %.2f <= single-path MOS %.2f", rep.MOS, repSolo.MOS)
+	}
+	// Both paths carried every frame.
+	if rep.PathUse[0] != rep.FramesSent || rep.PathUse[1] != rep.FramesSent {
+		t.Errorf("path use = %v, want both = %d", rep.PathUse, rep.FramesSent)
+	}
+}
+
+func TestDiversityRequiresDisjointRelays(t *testing.T) {
+	shared := cluster.HostID(7)
+	p1 := Path{Relays: []cluster.HostID{shared}, RTT: 100 * time.Millisecond, Loss: 0.05}
+	p2 := Path{Relays: []cluster.HostID{shared, 9}, RTT: 120 * time.Millisecond, Loss: 0.05}
+	c, err := NewCall([]Path{p1, p2}, DefaultConfig(), sim.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := c.RunDiversity(nil)
+	// No disjoint second path exists: only p1 used.
+	if rep.PathUse[1] != 0 {
+		t.Errorf("shared-relay path used %d times; paths sharing a relay are not diverse", rep.PathUse[1])
+	}
+}
+
+func TestFromOverlay(t *testing.T) {
+	op := overlay.Path{
+		Kind:   overlay.KindOneHop,
+		Relays: []cluster.HostID{3},
+		RTT:    90 * time.Millisecond,
+		Loss:   0.01,
+	}
+	p := FromOverlay(op)
+	if p.RTT != op.RTT || p.Loss != op.Loss || len(p.Relays) != 1 {
+		t.Errorf("FromOverlay = %+v", p)
+	}
+}
+
+func TestReportMOSConsistency(t *testing.T) {
+	// The report's MOS must equal the E-Model at its own delay/loss.
+	c, err := NewCall([]Path{goodPath()}, DefaultConfig(), sim.NewRNG(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := c.RunSwitching(nil)
+	want := netmodel.MOS(rep.MeanDelay, rep.EffectiveLoss, netmodel.CodecG729A)
+	if rep.MOS != want {
+		t.Errorf("MOS = %v, want %v", rep.MOS, want)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() Report {
+		c, err := NewCall([]Path{goodPath(), okPath()}, DefaultConfig(), sim.NewRNG(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.RunSwitching([]Degradation{{Path: 0, At: 5 * time.Second, ExtraLoss: 0.2}})
+	}
+	r1, r2 := run(), run()
+	if r1.FramesPlayed != r2.FramesPlayed || r1.Switches != r2.Switches || r1.MOS != r2.MOS {
+		t.Errorf("non-deterministic: %+v vs %+v", r1, r2)
+	}
+}
