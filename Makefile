@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race vet bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 0.2s .
+
+# check is the CI gate: everything must build, vet clean, and pass the
+# full test suite under the race detector.
+check: build vet race

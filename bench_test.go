@@ -23,6 +23,7 @@ import (
 	"asap/internal/eval"
 	"asap/internal/netmodel"
 	"asap/internal/overlay"
+	"asap/internal/session"
 	"asap/internal/sim"
 	"asap/internal/skype"
 	"asap/internal/transport"
@@ -449,6 +450,54 @@ func BenchmarkOverlayOneHop(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := cluster.HostID(i % pop.NumHosts())
 		_, _ = eng.OneHop(s.A, r, s.B)
+	}
+}
+
+// benchSessionDriver serves constant measurements: the backups beat the
+// active path by more than the switch margin, so hysteresis streaks
+// build continuously and a switchover fires every SwitchConsecutive
+// ticks — the full monitor decision path.
+type benchSessionDriver struct{}
+
+func (benchSessionDriver) ProbePath(relay, callee transport.Addr) (time.Duration, float64, error) {
+	if relay == "slow" {
+		return 350 * time.Millisecond, 0.05, nil
+	}
+	return 120 * time.Millisecond, 0.005, nil
+}
+
+func (benchSessionDriver) Keepalive(target transport.Addr, flowID uint64) error { return nil }
+
+// BenchmarkSessionSwitchover measures one virtual-clock event of the
+// session monitor loop: probe the active path and backups, E-Model score
+// them, update hysteresis streaks, and switch when a backup qualifies.
+func BenchmarkSessionSwitchover(b *testing.B) {
+	clk := &sim.Clock{}
+	mgr, err := session.NewManager(session.DefaultConfig(), clk, benchSessionDriver{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer mgr.Close()
+	sess, err := mgr.Open("callee",
+		session.Candidate{Relay: "slow", Est: 350 * time.Millisecond},
+		[]session.Candidate{
+			{Relay: "fast1", Est: 120 * time.Millisecond},
+			{Relay: "fast2", Est: 125 * time.Millisecond},
+			{Relay: "fast3", Est: 130 * time.Millisecond},
+		}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mgr.Start()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !clk.Step() {
+			b.Fatal("monitor loop drained the clock")
+		}
+	}
+	b.StopTimer()
+	if sess.Switches() == 0 && b.N > 10 {
+		b.Fatal("no switchover exercised")
 	}
 }
 

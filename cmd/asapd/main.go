@@ -18,6 +18,14 @@
 // describe a custom deployment, e.g.
 // "10.1.0.0/16=64501,10.2.0.0/16=64502"; -links accepts
 // "A-B=rel" AS links with rel one of c2p, p2p, s2s.
+//
+// Adding -session to a -call keeps the call open under the live session
+// monitor: the active path and its backup relays are probed and MOS-
+// scored every -probe-interval, relay keepalives run every
+// -keepalive-interval with failover on missed ones, and a switchover
+// needs -switch-consecutive probes beating the active path by
+// -switch-margin MOS. SIGINT/SIGTERM (or -call-duration) closes the
+// session gracefully and prints its final report.
 package main
 
 import (
@@ -32,6 +40,7 @@ import (
 
 	"asap/internal/asgraph"
 	"asap/internal/core"
+	"asap/internal/session"
 	"asap/internal/transport"
 )
 
@@ -55,6 +64,15 @@ func run(args []string) error {
 		say       = fs.String("say", "hello from asapd", "peer: voice payload for -call")
 		latT      = fs.Duration("latt", 300*time.Millisecond, "latency threshold")
 		wait      = fs.Duration("wait", 0, "peer: delay before -call (lets other peers join)")
+
+		// Live session monitoring (peer role, with -call).
+		monitored = fs.Bool("session", false, "peer: keep the -call open under the session monitor (quality probes, keepalives, failover)")
+		callFor   = fs.Duration("call-duration", 0, "peer: end the monitored call after this long (0 = until SIGINT/SIGTERM)")
+		probeIvl  = fs.Duration("probe-interval", 2*time.Second, "session: quality-probe cadence")
+		kaIvl     = fs.Duration("keepalive-interval", time.Second, "session: relay keepalive cadence")
+		margin    = fs.Float64("switch-margin", 0.3, "session: MOS margin a backup must beat the active path by")
+		consec    = fs.Int("switch-consecutive", 3, "session: consecutive margin-beating probes before switching")
+		statusIvl = fs.Duration("status-interval", 10*time.Second, "session: live status print cadence (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -118,7 +136,15 @@ func run(args []string) error {
 				return fmt.Errorf("voice: %w", err)
 			}
 			fmt.Printf("  delivered %d voice bytes\n", len(*say))
-			return nil
+			if !*monitored {
+				return nil
+			}
+			cfg := session.DefaultConfig()
+			cfg.ProbeInterval = *probeIvl
+			cfg.KeepaliveInterval = *kaIvl
+			cfg.SwitchMargin = *margin
+			cfg.SwitchConsecutive = *consec
+			return runMonitoredCall(node, transport.Addr(*call), choice, cfg, *callFor, *statusIvl)
 		}
 		waitForSignal()
 		return nil
@@ -199,6 +225,96 @@ func bootstrapConfig(prefixes, links string) (core.BootstrapConfig, error) {
 	}
 	cfg.Graph = b.Build()
 	return cfg, nil
+}
+
+// runMonitoredCall keeps a placed call alive under the session monitor:
+// quality probes against the active path and setup-time backups, relay
+// keepalives with failover, and live status lines. It returns after
+// -call-duration or on SIGINT/SIGTERM, closing the session and printing
+// its final report either way (graceful shutdown).
+func runMonitoredCall(node *core.Node, callee transport.Addr, choice *core.RelayChoice, cfg session.Config, dur, statusIvl time.Duration) error {
+	var flowID uint64
+	if choice.Relay != "" {
+		id, err := node.EnsureFlow(choice.Relay, callee)
+		if err != nil {
+			return fmt.Errorf("relay flow: %w", err)
+		}
+		flowID = id
+	}
+	mgr, err := session.NewManager(cfg, session.NewWallClock(), node,
+		session.WithFlowOpener(node.EnsureFlow),
+		session.WithReselect(func(callee transport.Addr) ([]session.Candidate, error) {
+			// Backups exhausted: re-run select-close-relay live.
+			fresh, err := node.SetupCall(callee)
+			if err != nil {
+				return nil, err
+			}
+			return toCandidates(fresh.Ranked), nil
+		}),
+		session.WithEventLog(func(e session.Event) {
+			fmt.Println(" ", e)
+			if e.Kind == "relay-failed" && e.Relay != "" {
+				// The dead relay's cached flow must not be reused.
+				node.DropFlow(e.Relay, callee)
+			}
+		}))
+	if err != nil {
+		return err
+	}
+	var backups []session.Candidate
+	if len(choice.Ranked) > 1 {
+		backups = toCandidates(choice.Ranked[1:])
+	}
+	sess, err := mgr.Open(callee, session.Candidate{Relay: choice.Relay, Est: choice.EstRTT}, backups, flowID)
+	if err != nil {
+		return err
+	}
+	mgr.Start()
+	fmt.Printf("  session %d open (probe %v, keepalive %v, detection window %v)\n",
+		sess.ID(), cfg.ProbeInterval, cfg.KeepaliveInterval, cfg.DetectionWindow())
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	var endCh <-chan time.Time
+	if dur > 0 {
+		endCh = time.After(dur)
+	}
+	var statusCh <-chan time.Time
+	if statusIvl > 0 {
+		t := time.NewTicker(statusIvl)
+		defer t.Stop()
+		statusCh = t.C
+	}
+	for {
+		select {
+		case <-statusCh:
+			for _, st := range mgr.Snapshot() {
+				fmt.Println(" ", st)
+			}
+		case sig := <-sigCh:
+			fmt.Printf("  %s: closing sessions\n", sig)
+			printReports(mgr.Close())
+			return nil
+		case <-endCh:
+			printReports(mgr.Close())
+			return nil
+		}
+	}
+}
+
+func toCandidates(ranked []core.RelayCandidate) []session.Candidate {
+	out := make([]session.Candidate, 0, len(ranked))
+	for _, c := range ranked {
+		out = append(out, session.Candidate{Relay: c.Relay, Est: c.Est})
+	}
+	return out
+}
+
+func printReports(reports []session.Report) {
+	for _, r := range reports {
+		fmt.Println(" ", r)
+	}
 }
 
 func waitForSignal() {

@@ -189,6 +189,25 @@ type Node struct {
 	nextFlowID uint64
 	// received collects voice payload sizes per flow (callee role).
 	received map[uint64]int
+	// outFlows caches the flow ID opened on each relay per callee, so
+	// voice sends and keepalives share one relay flow per call.
+	outFlows map[flowKey]uint64
+	// quality holds the latest in-call quality report from each peer
+	// (listener-observed RTT and loss), feeding the session monitor.
+	quality map[transport.Addr]QualityReport
+}
+
+// flowKey identifies an outbound relay flow: which relay, toward whom.
+type flowKey struct {
+	relay  transport.Addr
+	callee transport.Addr
+}
+
+// QualityReport is a peer's listener-side view of an ongoing call.
+type QualityReport struct {
+	RTT  time.Duration
+	Loss float64
+	At   time.Time
 }
 
 // NewNode builds and serves a peer on addr, then joins via the bootstrap
@@ -204,6 +223,8 @@ func NewNode(tr transport.Transport, addr transport.Addr, cfg NodeConfig) (*Node
 		members:  make(map[transport.Addr]transport.NodalInfo),
 		flows:    make(map[uint64]transport.Addr),
 		received: make(map[uint64]int),
+		outFlows: make(map[flowKey]uint64),
+		quality:  make(map[transport.Addr]QualityReport),
 	}
 	bound, err := tr.Serve(addr, n.handle)
 	if err != nil {
@@ -339,6 +360,14 @@ func (n *Node) CloseSet() ([]transport.CloseEntry, error) {
 	return resp.CloseSet, nil
 }
 
+// RelayCandidate is one usable relay from a call setup, with its
+// estimated voice-path RTT. The session monitor probes the top few as
+// backup paths during the call.
+type RelayCandidate struct {
+	Relay transport.Addr
+	Est   time.Duration
+}
+
 // RelayChoice is the outcome of a live call setup.
 type RelayChoice struct {
 	// Relay is the chosen relay surrogate address; empty means direct.
@@ -349,6 +378,10 @@ type RelayChoice struct {
 	Direct time.Duration
 	// Candidates is the number of one-hop candidates considered.
 	Candidates int
+	// Ranked is every considered candidate ordered by estimated RTT
+	// (Ranked[0] is the chosen relay when one was selected). The live
+	// session layer draws its backup paths from this list.
+	Ranked []RelayCandidate
 }
 
 // SetupCall performs the Fig. 10 one-hop selection against a live callee:
@@ -387,12 +420,49 @@ func (n *Node) SetupCall(callee transport.Addr) (*RelayChoice, error) {
 			continue
 		}
 		choice.Candidates++
+		choice.Ranked = append(choice.Ranked, RelayCandidate{
+			Relay: e.SurrogateAddr, Est: est,
+		})
 		if est < choice.EstRTT {
 			choice.EstRTT = est
 			choice.Relay = e.SurrogateAddr
 		}
 	}
+	sort.Slice(choice.Ranked, func(i, j int) bool {
+		return choice.Ranked[i].Est < choice.Ranked[j].Est
+	})
 	return choice, nil
+}
+
+// EnsureFlow opens a forwarding flow on relay toward callee, reusing a
+// previously opened one. Voice sends and session keepalives share the
+// returned flow ID for the life of the call.
+func (n *Node) EnsureFlow(relay, callee transport.Addr) (uint64, error) {
+	key := flowKey{relay: relay, callee: callee}
+	n.mu.Lock()
+	id, ok := n.outFlows[key]
+	n.mu.Unlock()
+	if ok {
+		return id, nil
+	}
+	open, err := n.tr.Call(relay, &transport.Message{
+		Type: transport.MsgRelayOpen, From: n.addr, Dst: callee,
+	})
+	if err != nil {
+		return 0, fmt.Errorf("core: relay open: %w", err)
+	}
+	n.mu.Lock()
+	n.outFlows[key] = open.FlowID
+	n.mu.Unlock()
+	return open.FlowID, nil
+}
+
+// DropFlow forgets the cached flow on relay toward callee (after a
+// failover the dead relay's flow must not be reused).
+func (n *Node) DropFlow(relay, callee transport.Addr) {
+	n.mu.Lock()
+	delete(n.outFlows, flowKey{relay: relay, callee: callee})
+	n.mu.Unlock()
 }
 
 // SendVoice sends a voice frame batch to the callee, through the relay
@@ -404,14 +474,11 @@ func (n *Node) SendVoice(choice *RelayChoice, callee transport.Addr, frames []by
 	}
 	to := callee
 	if choice.Relay != "" {
-		// Open (or reuse) a relay flow.
-		open, err := n.tr.Call(choice.Relay, &transport.Message{
-			Type: transport.MsgRelayOpen, From: n.addr, Dst: callee,
-		})
+		id, err := n.EnsureFlow(choice.Relay, callee)
 		if err != nil {
-			return fmt.Errorf("core: relay open: %w", err)
+			return err
 		}
-		msg.FlowID = open.FlowID
+		msg.FlowID = id
 		to = choice.Relay
 	}
 	resp, err := n.tr.Call(to, msg)
@@ -422,6 +489,75 @@ func (n *Node) SendVoice(choice *RelayChoice, callee transport.Addr, frames []by
 		return fmt.Errorf("core: unexpected voice reply type %d", resp.Type)
 	}
 	return nil
+}
+
+// ProbePath measures the full voice-path round trip through relay to
+// callee (relay == "" probes the direct path) and pairs it with the
+// latest listener-reported loss, implementing session.Driver. The relay
+// leg uses MsgRelayProbe: the relay pings the callee before answering,
+// so the caller's wall-clock round trip covers caller->relay->callee.
+func (n *Node) ProbePath(relay, callee transport.Addr) (time.Duration, float64, error) {
+	start := time.Now()
+	var err error
+	if relay == "" {
+		_, err = n.Ping(callee)
+	} else {
+		var resp *transport.Message
+		resp, err = n.tr.Call(relay, &transport.Message{
+			Type: transport.MsgRelayProbe, From: n.addr, Dst: callee,
+		})
+		if err == nil && resp.Type != transport.MsgRelayProbeReply {
+			err = fmt.Errorf("core: unexpected relay probe reply type %d", resp.Type)
+		}
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	loss := 0.0
+	if q, ok := n.PeerQuality(callee); ok {
+		loss = q.Loss
+	}
+	return time.Since(start), loss, nil
+}
+
+// Keepalive checks that target (the active relay, or the callee on a
+// direct path) is alive and, when flowID is nonzero, still holds the
+// relay flow. Implements session.Driver.
+func (n *Node) Keepalive(target transport.Addr, flowID uint64) error {
+	resp, err := n.tr.Call(target, &transport.Message{
+		Type: transport.MsgKeepalive, From: n.addr, FlowID: flowID,
+	})
+	if err != nil {
+		return err
+	}
+	if resp.Type != transport.MsgKeepaliveAck {
+		return fmt.Errorf("core: unexpected keepalive reply type %d", resp.Type)
+	}
+	return nil
+}
+
+// SendQualityReport publishes this node's listener-side call quality to
+// the peer (callee -> caller in the usual flow).
+func (n *Node) SendQualityReport(peer transport.Addr, sessionID uint64, rtt time.Duration, loss float64) error {
+	resp, err := n.tr.Call(peer, &transport.Message{
+		Type: transport.MsgQualityReport, From: n.addr,
+		SessionID: sessionID, RTT: rtt, Loss: loss,
+	})
+	if err != nil {
+		return err
+	}
+	if resp.Type != transport.MsgQualityReportAck {
+		return fmt.Errorf("core: unexpected quality report reply type %d", resp.Type)
+	}
+	return nil
+}
+
+// PeerQuality returns the latest quality report received from peer.
+func (n *Node) PeerQuality(peer transport.Addr) (QualityReport, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	q, ok := n.quality[peer]
+	return q, ok
 }
 
 // ReceivedBytes reports how many voice payload bytes this node has
@@ -474,6 +610,32 @@ func (n *Node) handle(from transport.Addr, req *transport.Message) (*transport.M
 		// recommendation is advisory in this implementation.
 		_ = better
 		return &transport.Message{Type: transport.MsgPublishNodalInfoReply}, nil
+
+	case transport.MsgKeepalive:
+		if req.FlowID != 0 {
+			n.mu.Lock()
+			_, ok := n.flows[req.FlowID]
+			n.mu.Unlock()
+			if !ok {
+				return nil, fmt.Errorf("core: keepalive for unknown flow %d", req.FlowID)
+			}
+		}
+		return &transport.Message{Type: transport.MsgKeepaliveAck, FlowID: req.FlowID}, nil
+
+	case transport.MsgRelayProbe:
+		// Relay role: measure our leg to the probe's destination so the
+		// caller's round trip spans the whole relayed path.
+		rtt, err := n.Ping(req.Dst)
+		if err != nil {
+			return nil, fmt.Errorf("core: relay probe: callee leg: %w", err)
+		}
+		return &transport.Message{Type: transport.MsgRelayProbeReply, RTT: rtt}, nil
+
+	case transport.MsgQualityReport:
+		n.mu.Lock()
+		n.quality[from] = QualityReport{RTT: req.RTT, Loss: req.Loss, At: time.Now()}
+		n.mu.Unlock()
+		return &transport.Message{Type: transport.MsgQualityReportAck, SessionID: req.SessionID}, nil
 
 	case transport.MsgRelayOpen:
 		n.mu.Lock()

@@ -1,0 +1,576 @@
+package session
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"asap/internal/netmodel"
+	"asap/internal/transport"
+)
+
+// Clock drives the monitor loop. *sim.Clock satisfies it directly, so
+// deterministic tests and the eval harness schedule virtual time; asapd
+// uses WallClock.
+type Clock interface {
+	// Now returns the current time as an offset from the clock's origin.
+	Now() time.Duration
+	// After schedules fn to run d from now.
+	After(d time.Duration, fn func())
+}
+
+// WallClock is the real-time Clock for live deployments.
+type WallClock struct{ start time.Time }
+
+// NewWallClock returns a wall clock anchored at the current instant.
+func NewWallClock() *WallClock { return &WallClock{start: time.Now()} }
+
+// Now implements Clock.
+func (w *WallClock) Now() time.Duration { return time.Since(w.start) }
+
+// After implements Clock.
+func (w *WallClock) After(d time.Duration, fn func()) { time.AfterFunc(d, fn) }
+
+// Driver performs the session layer's network operations. *core.Node
+// implements it over the transport; tests script it.
+type Driver interface {
+	// ProbePath measures the voice path through relay (empty = direct)
+	// to callee, returning its round trip and observed loss rate.
+	ProbePath(relay, callee transport.Addr) (time.Duration, float64, error)
+	// Keepalive verifies target is alive (and, when flowID is nonzero,
+	// that it still holds the relay flow).
+	Keepalive(target transport.Addr, flowID uint64) error
+}
+
+// Config tunes the monitor loop.
+type Config struct {
+	// ProbeInterval is the quality-monitor tick: every tick the active
+	// path and up to Backups backup paths are probed and scored.
+	ProbeInterval time.Duration
+	// KeepaliveInterval is the relay-liveness cadence.
+	KeepaliveInterval time.Duration
+	// KeepaliveMisses is how many consecutive failed keepalives declare
+	// the active relay dead.
+	KeepaliveMisses int
+	// KeepaliveBackoff is the first retry delay after a miss; each
+	// further retry doubles it (bounded by KeepaliveMisses).
+	KeepaliveBackoff time.Duration
+	// SwitchMargin is the MOS margin a backup must beat the active path
+	// by to count toward a switch.
+	SwitchMargin float64
+	// SwitchConsecutive is how many consecutive margin-beating probes a
+	// backup needs before the call switches — the hysteresis that
+	// prevents relay bounce. 1 degenerates to the naive best-MOS policy.
+	SwitchConsecutive int
+	// Backups is how many backup paths are probed per tick.
+	Backups int
+	// DegradedMOS is the active-path MOS below which the session is
+	// marked Degraded.
+	DegradedMOS float64
+	// Codec scores probes through the E-Model.
+	Codec netmodel.Codec
+	// HistoryLimit bounds the per-session probe history ring.
+	HistoryLimit int
+}
+
+// DefaultConfig returns the monitor parameters used by asapd.
+func DefaultConfig() Config {
+	return Config{
+		ProbeInterval:     2 * time.Second,
+		KeepaliveInterval: time.Second,
+		KeepaliveMisses:   3,
+		KeepaliveBackoff:  500 * time.Millisecond,
+		SwitchMargin:      0.3,
+		SwitchConsecutive: 3,
+		Backups:           3,
+		DegradedMOS:       netmodel.SatisfactionMOS,
+		Codec:             netmodel.CodecG729A,
+		HistoryLimit:      120,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.ProbeInterval <= 0:
+		return fmt.Errorf("session: ProbeInterval must be > 0")
+	case c.KeepaliveInterval <= 0:
+		return fmt.Errorf("session: KeepaliveInterval must be > 0")
+	case c.KeepaliveMisses < 1:
+		return fmt.Errorf("session: KeepaliveMisses must be >= 1")
+	case c.KeepaliveBackoff <= 0:
+		return fmt.Errorf("session: KeepaliveBackoff must be > 0")
+	case c.SwitchMargin < 0:
+		return fmt.Errorf("session: SwitchMargin must be >= 0")
+	case c.SwitchConsecutive < 1:
+		return fmt.Errorf("session: SwitchConsecutive must be >= 1")
+	case c.Backups < 0:
+		return fmt.Errorf("session: Backups must be >= 0")
+	case c.HistoryLimit < 0:
+		return fmt.Errorf("session: HistoryLimit must be >= 0")
+	}
+	return nil
+}
+
+// DetectionWindow is the worst-case delay from relay death to declared
+// failure: a full keepalive interval until the first miss, then the
+// bounded exponential retry chain.
+func (c Config) DetectionWindow() time.Duration {
+	w := c.KeepaliveInterval
+	backoff := c.KeepaliveBackoff
+	for i := 1; i < c.KeepaliveMisses; i++ {
+		w += backoff
+		backoff *= 2
+	}
+	return w
+}
+
+// Event is one state-machine transition, for live logs and tests.
+type Event struct {
+	At        time.Duration
+	SessionID uint64
+	Kind      string // open, switch, keepalive-miss, relay-failed, failover, reselect, no-path, closed
+	// Relay is the path the event concerns: the new active path for
+	// open/switch/failover, the dead one for relay-failed, the current
+	// one for keepalive-miss.
+	Relay  transport.Addr
+	Detail string
+}
+
+// String renders the event as one log line.
+func (e Event) String() string {
+	return fmt.Sprintf("[%8v] session %d: %-14s %s", e.At.Round(time.Millisecond), e.SessionID, e.Kind, e.Detail)
+}
+
+// Option configures a Manager.
+type Option func(*Manager)
+
+// WithReselect installs the candidate-refresh hook called when a
+// failover finds the backup list exhausted — in the live system this
+// re-runs select-close-relay against the callee.
+func WithReselect(fn func(callee transport.Addr) ([]Candidate, error)) Option {
+	return func(m *Manager) { m.reselect = fn }
+}
+
+// WithEventLog installs an observer for session state transitions. It is
+// invoked with the manager lock held; keep it fast and non-reentrant.
+func WithEventLog(fn func(Event)) Option {
+	return func(m *Manager) { m.onEvent = fn }
+}
+
+// WithFlowOpener installs the hook that opens a relay flow toward the
+// callee when a switch or failover lands on a relay path, so keepalives
+// assert the *new* relay's flow. core's (*Node).EnsureFlow matches the
+// signature. Without it, post-switch keepalives degrade to plain
+// liveness checks (flow ID 0).
+func WithFlowOpener(fn func(relay, callee transport.Addr) (uint64, error)) Option {
+	return func(m *Manager) { m.openFlow = fn }
+}
+
+// Manager tracks a node's open sessions and drives their monitor loops.
+//
+// Locking: one mutex guards all session state. Driver calls are made
+// with the lock held — probes on a live transport serialize across
+// sessions, which is the deliberate trade for a state machine that is
+// trivially deterministic under the sim clock.
+type Manager struct {
+	cfg      Config
+	clk      Clock
+	drv      Driver
+	reselect func(callee transport.Addr) ([]Candidate, error)
+	onEvent  func(Event)
+	openFlow func(relay, callee transport.Addr) (uint64, error)
+
+	mu       sync.Mutex
+	sessions map[uint64]*Session
+	nextID   uint64
+	started  bool
+	closed   bool
+}
+
+// NewManager builds a session manager over the given clock and driver.
+func NewManager(cfg Config, clk Clock, drv Driver, opts ...Option) (*Manager, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if clk == nil || drv == nil {
+		return nil, fmt.Errorf("session: Manager needs a clock and a driver")
+	}
+	m := &Manager{cfg: cfg, clk: clk, drv: drv, sessions: make(map[uint64]*Session)}
+	for _, o := range opts {
+		o(m)
+	}
+	return m, nil
+}
+
+// Open registers a live call: the active path plus the ranked backup
+// candidates from call setup (the active path is filtered out if the
+// caller left it in the list). flowID is the relay flow keepalives
+// assert; pass 0 for direct paths.
+func (m *Manager) Open(callee transport.Addr, active Candidate, backups []Candidate, flowID uint64) (*Session, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, fmt.Errorf("session: manager closed")
+	}
+	m.nextID++
+	s := &Session{
+		mgr:      m,
+		id:       m.nextID,
+		callee:   callee,
+		flowID:   flowID,
+		state:    StateActive,
+		active:   active,
+		openedAt: m.clk.Now(),
+		streak:   make(map[transport.Addr]int),
+		lastMOS:  make(map[transport.Addr]float64),
+	}
+	for _, b := range backups {
+		if b.Relay == active.Relay {
+			continue
+		}
+		s.backups = append(s.backups, b)
+	}
+	m.sessions[s.id] = s
+	m.event(s, "open", active.Relay, fmt.Sprintf("via %s (%d backups)", pathName(active.Relay), len(s.backups)))
+	return s, nil
+}
+
+// Start launches the probe and keepalive loops. Idempotent.
+func (m *Manager) Start() {
+	m.mu.Lock()
+	if m.started || m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.started = true
+	m.mu.Unlock()
+	m.clk.After(m.cfg.ProbeInterval, m.probeTick)
+	m.clk.After(m.cfg.KeepaliveInterval, m.keepaliveTick)
+}
+
+// Snapshot returns a point-in-time status of every open session, ordered
+// by session ID.
+func (m *Manager) Snapshot() []Status {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []Status
+	for _, s := range m.sortedLocked() {
+		out = append(out, s.statusLocked())
+	}
+	return out
+}
+
+// CloseSession ends one session and returns its final report.
+func (m *Manager) CloseSession(id uint64) (Report, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	if !ok {
+		return Report{}, fmt.Errorf("session: unknown session %d", id)
+	}
+	return m.closeLocked(s), nil
+}
+
+// Close ends every open session and stops the loops, returning the final
+// per-session reports in ID order.
+func (m *Manager) Close() []Report {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	var reports []Report
+	for _, s := range m.sortedLocked() {
+		reports = append(reports, m.closeLocked(s))
+	}
+	return reports
+}
+
+func (m *Manager) closeLocked(s *Session) Report {
+	if s.state != StateClosed {
+		s.state = StateClosed
+		s.closedAt = m.clk.Now()
+		m.event(s, "closed", s.active.Relay, "")
+	}
+	delete(m.sessions, s.id)
+	return s.reportLocked(s.closedAt)
+}
+
+func (m *Manager) sortedLocked() []*Session {
+	ids := make([]uint64, 0, len(m.sessions))
+	for id := range m.sessions {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]*Session, len(ids))
+	for i, id := range ids {
+		out[i] = m.sessions[id]
+	}
+	return out
+}
+
+func (m *Manager) event(s *Session, kind string, relay transport.Addr, detail string) {
+	if m.onEvent != nil {
+		m.onEvent(Event{At: m.clk.Now(), SessionID: s.id, Kind: kind, Relay: relay, Detail: detail})
+	}
+}
+
+func pathName(relay transport.Addr) string {
+	if relay == "" {
+		return "direct"
+	}
+	return string(relay)
+}
+
+// --- Quality monitor loop ---
+
+func (m *Manager) probeTick() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	for _, s := range m.sortedLocked() {
+		if s.state == StateClosed {
+			continue
+		}
+		m.probeSessionLocked(s)
+	}
+	m.mu.Unlock()
+	m.clk.After(m.cfg.ProbeInterval, m.probeTick)
+}
+
+// probeSessionLocked runs one monitor tick for one session: probe the
+// active path and the top backups, score everything through the E-Model,
+// update hysteresis streaks, and switch when a backup has qualified for
+// SwitchConsecutive straight ticks.
+func (m *Manager) probeSessionLocked(s *Session) {
+	activeMOS, activeOK := m.probeOneLocked(s, s.active)
+	s.activeMOS = activeMOS
+	s.mosSum += activeMOS
+	s.mosN++
+
+	type scored struct {
+		idx int
+		mos float64
+	}
+	best := scored{idx: -1}
+	limit := m.cfg.Backups
+	if limit > len(s.backups) {
+		limit = len(s.backups)
+	}
+	for i := 0; i < limit; i++ {
+		b := s.backups[i]
+		mos, ok := m.probeOneLocked(s, b)
+		if ok && mos >= activeMOS+m.cfg.SwitchMargin {
+			s.streak[b.Relay]++
+		} else {
+			s.streak[b.Relay] = 0
+		}
+		if s.streak[b.Relay] >= m.cfg.SwitchConsecutive && (best.idx < 0 || mos > best.mos) {
+			best = scored{idx: i, mos: mos}
+		}
+	}
+
+	if s.state != StateFailed {
+		s.state = m.stateForMOS(activeMOS)
+		if !activeOK {
+			s.state = StateDegraded
+		}
+	}
+
+	if best.idx >= 0 {
+		m.switchToLocked(s, best.idx, true)
+	}
+}
+
+// probeOneLocked measures one path and records its MOS; a failed probe
+// scores the MOS floor so backups immediately outrank a dead active path
+// (final authority on death stays with the keepalive machinery).
+func (m *Manager) probeOneLocked(s *Session, c Candidate) (float64, bool) {
+	rtt, loss, err := m.drv.ProbePath(c.Relay, s.callee)
+	sample := Sample{At: m.clk.Now(), Relay: c.Relay}
+	if err != nil {
+		sample.MOS = 1
+		m.recordLocked(s, sample)
+		s.lastMOS[c.Relay] = 1
+		return 1, false
+	}
+	mos := m.mosOf(rtt, loss)
+	sample.RTT, sample.Loss, sample.MOS, sample.OK = rtt, loss, mos, true
+	m.recordLocked(s, sample)
+	s.lastMOS[c.Relay] = mos
+	return mos, true
+}
+
+func (m *Manager) recordLocked(s *Session, sample Sample) {
+	if m.cfg.HistoryLimit == 0 {
+		return
+	}
+	s.history = append(s.history, sample)
+	if over := len(s.history) - m.cfg.HistoryLimit; over > 0 {
+		s.history = s.history[over:]
+	}
+}
+
+// switchToLocked moves the call to backups[idx]. Quality switches keep
+// the displaced path as a backup; failovers drop it (the relay is dead).
+func (m *Manager) switchToLocked(s *Session, idx int, quality bool) {
+	next := s.backups[idx]
+	old := s.active
+	s.state = StateSwitching
+	s.backups = append(s.backups[:idx], s.backups[idx+1:]...)
+	if quality {
+		s.backups = append(s.backups, old)
+		s.switches++
+		m.event(s, "switch", next.Relay, fmt.Sprintf("%s -> %s (MOS %.2f vs %.2f)",
+			pathName(old.Relay), pathName(next.Relay), s.lastMOS[next.Relay], s.lastMOS[old.Relay]))
+	} else {
+		s.failovers++
+		m.event(s, "failover", next.Relay, fmt.Sprintf("%s -> %s", pathName(old.Relay), pathName(next.Relay)))
+	}
+	s.active = next
+	// The old relay's flow dies with the old path: open a flow on the new
+	// relay so keepalives assert it, or fall back to plain liveness.
+	s.flowID = 0
+	if next.Relay != "" && m.openFlow != nil {
+		if id, err := m.openFlow(next.Relay, s.callee); err == nil {
+			s.flowID = id
+		} else {
+			m.event(s, "flow-open-failed", next.Relay, err.Error())
+		}
+	}
+	s.kaMisses = 0
+	for k := range s.streak {
+		s.streak[k] = 0
+	}
+	if mos, ok := s.lastMOS[next.Relay]; ok {
+		s.activeMOS = mos
+		s.state = m.stateForMOS(mos)
+	} else {
+		s.state = StateActive
+	}
+}
+
+// --- Keepalive / failure detection ---
+
+func (m *Manager) keepaliveTick() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	for _, s := range m.sortedLocked() {
+		if s.state == StateClosed || s.retryPending {
+			continue
+		}
+		m.checkKeepaliveLocked(s)
+	}
+	m.mu.Unlock()
+	m.clk.After(m.cfg.KeepaliveInterval, m.keepaliveTick)
+}
+
+func (m *Manager) checkKeepaliveLocked(s *Session) {
+	target := s.active.Relay
+	flowID := s.flowID
+	if target == "" {
+		target = s.callee
+		flowID = 0
+	}
+	if err := m.drv.Keepalive(target, flowID); err == nil {
+		s.kaMisses = 0
+		if s.state == StateFailed {
+			// The declared-dead path answered again (e.g. the callee of a
+			// direct call restarted): resume monitoring.
+			s.state = StateActive
+			m.event(s, "recovered", s.active.Relay, pathName(s.active.Relay))
+		}
+		return
+	}
+	if s.state == StateFailed {
+		// Already declared dead with nowhere to go; keep retrying the
+		// reselect hook at keepalive cadence without re-announcing the
+		// failure every tick.
+		m.failActiveLocked(s)
+		return
+	}
+	s.kaMisses++
+	m.event(s, "keepalive-miss", s.active.Relay, fmt.Sprintf("%s (%d/%d)", pathName(s.active.Relay), s.kaMisses, m.cfg.KeepaliveMisses))
+	if s.kaMisses >= m.cfg.KeepaliveMisses {
+		m.failActiveLocked(s)
+		return
+	}
+	// Bounded retry with exponential backoff before the next verdict.
+	s.retryPending = true
+	delay := m.cfg.KeepaliveBackoff << (s.kaMisses - 1)
+	id := s.id
+	m.clk.After(delay, func() { m.retryKeepalive(id) })
+}
+
+func (m *Manager) retryKeepalive(id uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	if !ok || m.closed {
+		return
+	}
+	s.retryPending = false
+	if s.state == StateClosed {
+		return
+	}
+	m.checkKeepaliveLocked(s)
+}
+
+// failActiveLocked declares the active relay dead and fails over to the
+// best backup, refreshing the candidate list via the reselect hook only
+// when the backups are exhausted.
+func (m *Manager) failActiveLocked(s *Session) {
+	dead := s.active
+	wasFailed := s.state == StateFailed
+	s.state = StateFailed
+	delete(s.lastMOS, dead.Relay)
+	delete(s.streak, dead.Relay)
+	if !wasFailed {
+		m.event(s, "relay-failed", dead.Relay, pathName(dead.Relay))
+	}
+
+	if len(s.backups) == 0 && m.reselect != nil {
+		cands, err := m.reselect(s.callee)
+		if err != nil {
+			// Repeated recovery attempts from an already-failed session
+			// stay quiet; only the first failure announces its error.
+			if !wasFailed {
+				m.event(s, "reselect", "", fmt.Sprintf("error: %v", err))
+			}
+		} else {
+			for _, c := range cands {
+				if c.Relay == dead.Relay {
+					continue
+				}
+				s.backups = append(s.backups, c)
+			}
+			if !wasFailed || len(s.backups) > 0 {
+				m.event(s, "reselect", "", fmt.Sprintf("%d candidates", len(s.backups)))
+			}
+		}
+	}
+	if len(s.backups) == 0 {
+		if !wasFailed {
+			m.event(s, "no-path", "", "backups exhausted")
+		}
+		return
+	}
+
+	// Prefer the backup with the best recent probe MOS; fall back to the
+	// setup-time estimate order (backups arrive est-sorted).
+	best, bestMOS := 0, -1.0
+	for i, b := range s.backups {
+		if mos, ok := s.lastMOS[b.Relay]; ok && mos > bestMOS {
+			best, bestMOS = i, mos
+		}
+	}
+	m.switchToLocked(s, best, false)
+}

@@ -54,6 +54,23 @@ const (
 	// MsgVoice: endpoint -> relay -> endpoint. A batch of voice frames.
 	MsgVoice
 	MsgVoiceAck
+
+	// MsgKeepalive: endpoint -> relay (or callee, on direct paths). An
+	// in-call liveness check; when FlowID is set the relay also confirms
+	// it still holds the flow state.
+	MsgKeepalive
+	MsgKeepaliveAck
+
+	// MsgRelayProbe: caller -> relay. The relay pings Dst and answers, so
+	// the caller's measured round trip covers the full relayed voice path
+	// (caller -> relay -> callee -> relay -> caller).
+	MsgRelayProbe
+	MsgRelayProbeReply
+
+	// MsgQualityReport: callee -> caller. Periodic listener-side quality
+	// (observed loss and delay) feeding the caller's session monitor.
+	MsgQualityReport
+	MsgQualityReportAck
 )
 
 // CloseEntry is one close-cluster-set entry on the wire.
@@ -111,4 +128,11 @@ type Message struct {
 	Seq uint32
 	// Frames is the opaque voice payload batch.
 	Frames []byte
+	// RTT carries a measured round trip (MsgRelayProbeReply reports the
+	// relay->callee leg; MsgQualityReport reports the listener's view).
+	RTT time.Duration
+	// Loss is an observed packet loss rate in [0,1] (MsgQualityReport).
+	Loss float64
+	// SessionID identifies a live call session (MsgQualityReport).
+	SessionID uint64
 }

@@ -93,6 +93,15 @@ func (m *Mem) Call(to Addr, req *Message) (*Message, error) {
 	return resp, nil
 }
 
+// Unbind drops the handler for addr, making the node unreachable. Tests
+// use it to simulate a crashed relay: subsequent Calls to addr return
+// ErrUnreachable while the rest of the network keeps running.
+func (m *Mem) Unbind(addr Addr) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.handlers, addr)
+}
+
 // Close implements Transport.
 func (m *Mem) Close() error {
 	m.mu.Lock()
@@ -113,11 +122,16 @@ type TCP struct {
 	wg        sync.WaitGroup
 	// DialTimeout bounds connection setup (default 5s).
 	DialTimeout time.Duration
+	// CallTimeout bounds the full request/response exchange after connect
+	// (default 10s). Without it, a peer that accepts and then stalls —
+	// never reading the request or never writing a response — blocks the
+	// caller forever. Zero disables the deadline.
+	CallTimeout time.Duration
 }
 
 // NewTCP returns a TCP transport.
 func NewTCP() *TCP {
-	return &TCP{DialTimeout: 5 * time.Second}
+	return &TCP{DialTimeout: 5 * time.Second, CallTimeout: 10 * time.Second}
 }
 
 // Serve implements Transport: it listens on addr (e.g. "127.0.0.1:0")
@@ -143,6 +157,11 @@ func (t *TCP) Serve(addr Addr, h Handler) (Addr, error) {
 			go func() {
 				defer t.wg.Done()
 				defer func() { _ = conn.Close() }()
+				// A client that connects and never sends (or never drains
+				// the response) must not pin this goroutine past Close.
+				if t.CallTimeout > 0 {
+					_ = conn.SetDeadline(time.Now().Add(t.CallTimeout))
+				}
 				req, err := readFrame(conn)
 				if err != nil {
 					return
@@ -165,6 +184,9 @@ func (t *TCP) Call(to Addr, req *Message) (*Message, error) {
 		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, to, err)
 	}
 	defer func() { _ = conn.Close() }()
+	if t.CallTimeout > 0 {
+		_ = conn.SetDeadline(time.Now().Add(t.CallTimeout))
+	}
 	if err := writeFrame(conn, req); err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"errors"
+	"net"
 	"strings"
 	"sync"
 	"testing"
@@ -76,6 +77,29 @@ func TestMemHandlerError(t *testing.T) {
 	}
 	if _, err := m.Call("a", &Message{Type: MsgPing}); err == nil || !strings.Contains(err.Error(), "boom") {
 		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMemUnbind(t *testing.T) {
+	m := NewMem()
+	defer func() { _ = m.Close() }()
+	if _, err := m.Serve("a", echoHandler); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Serve("b", echoHandler); err != nil {
+		t.Fatal(err)
+	}
+	m.Unbind("a")
+	if _, err := m.Call("a", &Message{Type: MsgPing}); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("call to unbound addr: err = %v, want ErrUnreachable", err)
+	}
+	// The rest of the network keeps running.
+	if _, err := m.Call("b", &Message{Type: MsgPing}); err != nil {
+		t.Errorf("call to live addr after unbind: %v", err)
+	}
+	// The address can be rebound (node restart).
+	if _, err := m.Serve("a", echoHandler); err != nil {
+		t.Errorf("rebind after unbind: %v", err)
 	}
 }
 
@@ -202,6 +226,103 @@ func TestTCPConcurrent(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Fatal(err)
+	}
+}
+
+func TestMemCallRacesClose(t *testing.T) {
+	// Calls in flight while Close runs must either succeed or report
+	// unreachable — never panic or deadlock (run under -race in CI).
+	m := NewMem()
+	if _, err := m.Serve("a", echoHandler); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				if _, err := m.Call("a", &Message{Type: MsgPing, From: "b"}); err != nil {
+					if !errors.Is(err, ErrUnreachable) {
+						t.Errorf("unexpected error: %v", err)
+					}
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = m.Close()
+	}()
+	wg.Wait()
+	if _, err := m.Call("a", &Message{Type: MsgPing}); err == nil {
+		t.Error("call after close should fail")
+	}
+}
+
+func TestTCPCallStalledServer(t *testing.T) {
+	// A raw listener that accepts and then never reads nor writes: Call
+	// must give up via CallTimeout instead of blocking forever.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ln.Close() }()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err == nil {
+			accepted <- conn // hold it open, say nothing
+		}
+	}()
+
+	tcp := NewTCP()
+	tcp.CallTimeout = 200 * time.Millisecond
+	defer func() { _ = tcp.Close() }()
+
+	start := time.Now()
+	_, err = tcp.Call(Addr(ln.Addr().String()), &Message{Type: MsgPing, From: "cli"})
+	if err == nil {
+		t.Fatal("call against stalled server should fail")
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Errorf("call took %v, want ~CallTimeout (200ms)", el)
+	}
+	select {
+	case conn := <-accepted:
+		_ = conn.Close()
+	default:
+	}
+}
+
+func TestTCPServeStalledClient(t *testing.T) {
+	// A client that connects and never sends a frame must not pin the
+	// accept-side goroutine: Close has to return once the server read
+	// deadline fires.
+	tcp := NewTCP()
+	tcp.CallTimeout = 100 * time.Millisecond
+	addr, err := tcp.Serve("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", string(addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	time.Sleep(250 * time.Millisecond) // let the server-side deadline expire
+
+	done := make(chan struct{})
+	go func() {
+		_ = tcp.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on a stalled client connection")
 	}
 }
 

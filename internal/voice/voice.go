@@ -266,6 +266,51 @@ func (c *Call) RunDiversity(degradations []Degradation) Report {
 	return rep
 }
 
+// SegmentReport summarizes one monitored stretch of frames on one path —
+// the per-segment measurement a live session monitor feeds the E-Model
+// between switch decisions.
+type SegmentReport struct {
+	// Frames and Played count codec frames sent and played in time.
+	Frames, Played int
+	// Loss is the listener-effective loss (network loss plus late
+	// arrivals) over the segment.
+	Loss float64
+	// MeanDelay is the mean one-way delay of played frames.
+	MeanDelay time.Duration
+	// MOS is the segment's E-Model score.
+	MOS float64
+}
+
+// ScoreSegment simulates frames codec frames on path id under optional
+// impairment boosts and returns what the listener experienced. The
+// session layer uses it to score segments of a monitored call with the
+// same per-frame loss/delay machinery as the full-call modes.
+func (c *Call) ScoreSegment(id PathID, frames int, lossBoost float64, delayBoost time.Duration) (SegmentReport, error) {
+	if id < 0 || int(id) >= len(c.paths) {
+		return SegmentReport{}, fmt.Errorf("voice: path %d out of range [0,%d)", id, len(c.paths))
+	}
+	if frames <= 0 {
+		return SegmentReport{}, fmt.Errorf("voice: segment needs at least one frame")
+	}
+	p := c.paths[id]
+	rep := SegmentReport{Frames: frames}
+	var totalDelay time.Duration
+	for i := 0; i < frames; i++ {
+		out := c.sendFrame(p, lossBoost, delayBoost)
+		if !out.arrived || out.delay > p.RTT/2+delayBoost+PlayoutBudget {
+			continue
+		}
+		rep.Played++
+		totalDelay += out.delay
+	}
+	rep.Loss = 1 - float64(rep.Played)/float64(rep.Frames)
+	if rep.Played > 0 {
+		rep.MeanDelay = totalDelay / time.Duration(rep.Played)
+	}
+	rep.MOS = netmodel.MOS(rep.MeanDelay, rep.Loss, netmodel.CodecG729A)
+	return rep, nil
+}
+
 func (c *Call) finish(rep *Report, totalDelay time.Duration) {
 	if rep.FramesSent > 0 {
 		rep.EffectiveLoss = 1 - float64(rep.FramesPlayed)/float64(rep.FramesSent)

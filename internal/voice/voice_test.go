@@ -44,6 +44,41 @@ func TestNewCallNeedsPaths(t *testing.T) {
 	}
 }
 
+func TestScoreSegment(t *testing.T) {
+	c, err := NewCall([]Path{goodPath(), okPath()}, DefaultConfig(), sim.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := c.ScoreSegment(0, 500, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Frames != 500 || clean.Played == 0 {
+		t.Fatalf("clean segment = %+v", clean)
+	}
+	if clean.MOS < 3.8 {
+		t.Errorf("clean segment MOS = %.2f, want >= 3.8", clean.MOS)
+	}
+	// A heavy loss boost must tank the segment score.
+	impaired, err := c.ScoreSegment(0, 500, 0.25, 80*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if impaired.MOS >= clean.MOS-0.5 {
+		t.Errorf("impaired MOS %.2f vs clean %.2f: impairment not reflected", impaired.MOS, clean.MOS)
+	}
+	if impaired.Loss <= clean.Loss {
+		t.Errorf("impaired loss %.3f <= clean loss %.3f", impaired.Loss, clean.Loss)
+	}
+	// Bounds checking.
+	if _, err := c.ScoreSegment(9, 10, 0, 0); err == nil {
+		t.Error("out-of-range path should fail")
+	}
+	if _, err := c.ScoreSegment(0, 0, 0, 0); err == nil {
+		t.Error("zero-frame segment should fail")
+	}
+}
+
 func TestCleanCallHighMOS(t *testing.T) {
 	c, err := NewCall([]Path{goodPath(), okPath()}, DefaultConfig(), sim.NewRNG(2))
 	if err != nil {
