@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench check
+.PHONY: build test race vet staticcheck bench chaos check
 
 build:
 	$(GO) build ./...
@@ -14,9 +14,24 @@ race:
 vet:
 	$(GO) vet ./...
 
+# staticcheck runs when the tool is installed and is skipped (with a
+# notice) otherwise, so the gate works in minimal containers too.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 0.2s .
 
-# check is the CI gate: everything must build, vet clean, and pass the
-# full test suite under the race detector.
-check: build vet race
+# chaos runs the seeded fault-injection soak under the race detector:
+# drop probability, a bootstrap outage, a surrogate kill and a relay
+# failure burst over the in-memory transport.
+chaos:
+	$(GO) test -race -run 'TestChaosSoak' -count=1 -v ./internal/core/
+
+# check is the CI gate: everything must build, vet and staticcheck clean,
+# and pass the full test suite under the race detector.
+check: build vet staticcheck race

@@ -26,6 +26,20 @@
 // needs -switch-consecutive probes beating the active path by
 // -switch-margin MOS. SIGINT/SIGTERM (or -call-duration) closes the
 // session gracefully and prints its final report.
+//
+// Churn tolerance: the bootstrap grants surrogate registrations as
+// leases (-lease, default 30s) that surrogates renew by heartbeat, so a
+// crashed surrogate's cluster re-elects once its lease expires; with
+// -lease 0 registrations never expire. Call setup degrades to a direct
+// call (reported "degraded") instead of failing when the control plane
+// is unreachable. The -chaos flag wraps the TCP transport in a seeded
+// fault injector for resilience drills, e.g.
+//
+//	asapd -role peer ... -chaos "drop=0.05,lat=20ms" -chaos-seed 7
+//
+// accepts drop=P, drop@ADDR=P, lat=D, lat@ADDR=D, blackhole@ADDR,
+// fail@ADDR=N and outage@ADDR=D, comma-separated; faults apply to this
+// process's outbound calls only.
 package main
 
 import (
@@ -64,6 +78,9 @@ func run(args []string) error {
 		say       = fs.String("say", "hello from asapd", "peer: voice payload for -call")
 		latT      = fs.Duration("latt", 300*time.Millisecond, "latency threshold")
 		wait      = fs.Duration("wait", 0, "peer: delay before -call (lets other peers join)")
+		lease     = fs.Duration("lease", 30*time.Second, "bootstrap: surrogate lease TTL (0 = registrations never expire)")
+		chaosSpec = fs.String("chaos", "", "inject faults into outbound calls, e.g. \"drop=0.05,lat=20ms,blackhole@HOST:PORT\"")
+		chaosSeed = fs.Int64("chaos-seed", 1, "seed for -chaos fault randomness")
 
 		// Live session monitoring (peer role, with -call).
 		monitored = fs.Bool("session", false, "peer: keep the -call open under the session monitor (quality probes, keepalives, failover)")
@@ -78,8 +95,17 @@ func run(args []string) error {
 		return err
 	}
 
-	tr := transport.NewTCP()
-	defer func() { _ = tr.Close() }()
+	tcp := transport.NewTCP()
+	defer func() { _ = tcp.Close() }()
+	var tr transport.Transport = tcp
+	if *chaosSpec != "" {
+		ch := transport.NewChaos(tcp, *chaosSeed)
+		if err := ch.Apply(*chaosSpec); err != nil {
+			return err
+		}
+		tr = ch
+		fmt.Printf("asapd chaos enabled (seed %d): %s\n", *chaosSeed, *chaosSpec)
+	}
 
 	switch *role {
 	case "bootstrap":
@@ -87,6 +113,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		cfg.LeaseTTL = *lease
 		bs, err := core.NewBootstrap(tr, transport.Addr(*listen), cfg)
 		if err != nil {
 			return err
@@ -111,6 +138,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		defer node.Close()
 		fmt.Printf("asapd peer %s joined: cluster %s, surrogate=%v\n",
 			node.Addr(), node.ClusterKey(), node.IsSurrogate())
 
@@ -128,6 +156,9 @@ func run(args []string) error {
 			via := "direct"
 			if choice.Relay != "" {
 				via = "relay " + string(choice.Relay)
+			}
+			if choice.Degraded {
+				via += " (degraded: control plane unreachable)"
 			}
 			fmt.Printf("  call to %s: %s (direct %v, est %v, %d candidates)\n",
 				*call, via, choice.Direct.Round(time.Millisecond),
@@ -249,7 +280,13 @@ func runMonitoredCall(node *core.Node, callee transport.Addr, choice *core.Relay
 			if err != nil {
 				return nil, err
 			}
-			return toCandidates(fresh.Ranked), nil
+			cands := toCandidates(fresh.Ranked)
+			if len(cands) == 0 {
+				// Degraded reselect: no relay is findable right now, but
+				// the callee still answers — keep the call alive direct.
+				cands = append(cands, session.Candidate{Relay: "", Est: fresh.Direct})
+			}
+			return cands, nil
 		}),
 		session.WithEventLog(func(e session.Event) {
 			fmt.Println(" ", e)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -23,6 +24,20 @@ import (
 // chosen relay. (Two-hop expansion lives in the algorithmic layer; the
 // daemon uses one-hop selection, which Section 7.3 shows costs only two
 // messages per call.)
+//
+// Control-plane churn tolerance (Section 6.1's failure duties):
+//
+//   - Surrogate registrations are leases: they expire unless renewed by
+//     heartbeat, and registration is compare-and-swap — a live incumbent
+//     wins, so concurrent joiners converge on one surrogate per cluster.
+//   - Every control call retries with capped exponential backoff
+//     (RetryPolicy); only transport-level failures are retried.
+//   - A member whose surrogate stops answering re-joins, volunteers when
+//     the bootstrap confirms the cluster is vacant, and republishes its
+//     nodal info ("end hosts volunteer when the incumbent is gone").
+//   - Call setup degrades instead of failing: when the close set or the
+//     callee's surrogate is unreachable, the call proceeds direct and is
+//     marked Degraded; the live session monitor upgrades it later.
 
 // BootstrapConfig seeds a bootstrap node.
 type BootstrapConfig struct {
@@ -33,12 +48,24 @@ type BootstrapConfig struct {
 	Prefixes []PrefixOrigin
 	// K is the valley-free hop bound handed to surrogates.
 	K int
+	// LeaseTTL is how long a surrogate registration stays valid without a
+	// heartbeat renewal. Zero disables expiry — the pre-lease behaviour
+	// where a dead surrogate is handed out forever (the churn experiment's
+	// baseline arm).
+	LeaseTTL time.Duration
 }
 
 // PrefixOrigin is one prefix-to-origin-AS row.
 type PrefixOrigin struct {
 	Prefix string
 	ASN    asgraph.ASN
+}
+
+// surrogateLease is one cluster's registration: who serves it and until
+// when. A zero expiry never expires (leases disabled).
+type surrogateLease struct {
+	addr    transport.Addr
+	expires time.Time
 }
 
 // Bootstrap is the dedicated always-on server actor.
@@ -48,7 +75,7 @@ type Bootstrap struct {
 	tr    transport.Transport
 	addr  transport.Addr
 	mu    sync.Mutex
-	surro map[string]transport.Addr // cluster key -> surrogate address
+	surro map[string]surrogateLease // cluster key -> surrogate lease
 	byAS  map[asgraph.ASN][]string  // AS -> cluster keys
 	known map[string]asgraph.ASN    // cluster key -> AS
 }
@@ -61,10 +88,13 @@ func NewBootstrap(tr transport.Transport, addr transport.Addr, cfg BootstrapConf
 	if cfg.K < 1 {
 		cfg.K = DefaultParams().K
 	}
+	if cfg.LeaseTTL < 0 {
+		return nil, fmt.Errorf("core: bootstrap LeaseTTL must be >= 0")
+	}
 	b := &Bootstrap{
 		cfg:   cfg,
 		tr:    tr,
-		surro: make(map[string]transport.Addr),
+		surro: make(map[string]surrogateLease),
 		byAS:  make(map[asgraph.ASN][]string),
 		known: make(map[string]asgraph.ASN),
 	}
@@ -89,6 +119,46 @@ func NewBootstrap(tr transport.Transport, addr transport.Addr, cfg BootstrapConf
 // Addr returns the bootstrap's bound address.
 func (b *Bootstrap) Addr() transport.Addr { return b.addr }
 
+// liveSurrogateLocked returns the cluster's surrogate if its lease is
+// still valid. MsgJoin never hands out an expired surrogate.
+func (b *Bootstrap) liveSurrogateLocked(key string) (transport.Addr, bool) {
+	l, ok := b.surro[key]
+	if !ok || l.addr == "" {
+		return "", false
+	}
+	if !l.expires.IsZero() && time.Now().After(l.expires) {
+		return "", false
+	}
+	return l.addr, true
+}
+
+// registerSurrogate is the shared compare-and-swap body of
+// MsgRegisterSurrogate and MsgSurrogateHeartbeat: the registration is
+// granted (or renewed) only when the cluster has no live incumbent or the
+// incumbent is the requester itself. The reply always names the cluster's
+// current lease holder, so a loser learns whom to follow.
+func (b *Bootstrap) registerSurrogate(req *transport.Message, reply transport.MsgType) (*transport.Message, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.known[req.ClusterKey]; !ok {
+		return nil, fmt.Errorf("core: register for unknown cluster %q", req.ClusterKey)
+	}
+	cur, live := b.liveSurrogateLocked(req.ClusterKey)
+	if live && cur != req.SurrogateAddr {
+		return &transport.Message{
+			Type: reply, SurrogateAddr: cur, LeaseTTL: b.cfg.LeaseTTL,
+		}, nil
+	}
+	var exp time.Time
+	if b.cfg.LeaseTTL > 0 {
+		exp = time.Now().Add(b.cfg.LeaseTTL)
+	}
+	b.surro[req.ClusterKey] = surrogateLease{addr: req.SurrogateAddr, expires: exp}
+	return &transport.Message{
+		Type: reply, SurrogateAddr: req.SurrogateAddr, LeaseTTL: b.cfg.LeaseTTL,
+	}, nil
+}
+
 func (b *Bootstrap) handle(from transport.Addr, req *transport.Message) (*transport.Message, error) {
 	switch req.Type {
 	case transport.MsgJoin:
@@ -102,7 +172,7 @@ func (b *Bootstrap) handle(from transport.Addr, req *transport.Message) (*transp
 		}
 		key := prefix.String()
 		b.mu.Lock()
-		sur := b.surro[key]
+		sur, _ := b.liveSurrogateLocked(key)
 		b.mu.Unlock()
 		return &transport.Message{
 			Type:          transport.MsgJoinReply,
@@ -112,14 +182,13 @@ func (b *Bootstrap) handle(from transport.Addr, req *transport.Message) (*transp
 		}, nil
 
 	case transport.MsgRegisterSurrogate:
-		b.mu.Lock()
-		if _, ok := b.known[req.ClusterKey]; !ok {
-			b.mu.Unlock()
-			return nil, fmt.Errorf("core: register for unknown cluster %q", req.ClusterKey)
-		}
-		b.surro[req.ClusterKey] = req.SurrogateAddr
-		b.mu.Unlock()
-		return &transport.Message{Type: transport.MsgRegisterSurrogateReply}, nil
+		return b.registerSurrogate(req, transport.MsgRegisterSurrogateReply)
+
+	case transport.MsgSurrogateHeartbeat:
+		// Renewal piggybacks the heartbeat: the same CAS body renews a held
+		// lease and re-acquires a lost one (e.g. after a bootstrap restart
+		// wiped the table).
+		return b.registerSurrogate(req, transport.MsgSurrogateHeartbeatReply)
 
 	case transport.MsgGetSurrogates:
 		// Return the surrogates of every cluster whose AS lies within K
@@ -136,7 +205,7 @@ func (b *Bootstrap) handle(from transport.Addr, req *transport.Message) (*transp
 		b.mu.Lock()
 		for asn := range reach.Hops {
 			for _, key := range b.byAS[asn] {
-				if sur, ok := b.surro[key]; ok {
+				if sur, ok := b.liveSurrogateLocked(key); ok {
 					entries = append(entries, transport.CloseEntry{
 						ClusterKey:    key,
 						SurrogateAddr: sur,
@@ -166,20 +235,35 @@ type NodeConfig struct {
 	Params Params
 	// Nodal is the node's published capability information.
 	Nodal transport.NodalInfo
+	// Retry schedules control-plane retries; the zero value means
+	// DefaultRetryPolicy.
+	Retry RetryPolicy
+	// PingTimeout bounds each close-set probe ping (0 = 2x LatT).
+	PingTimeout time.Duration
+	// PingWorkers bounds the close-set probe worker pool (0 = 8).
+	PingWorkers int
 }
 
 // Node is a peer actor: always an end host, and surrogate of its cluster
 // when it is the cluster's first or best member.
 type Node struct {
-	cfg  NodeConfig
-	tr   transport.Transport
-	addr transport.Addr
+	cfg    NodeConfig
+	tr     transport.Transport
+	addr   transport.Addr
+	retry  RetryPolicy
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
 
 	mu         sync.Mutex
+	closed     bool
 	asn        asgraph.ASN
 	clusterKey string
 	surrogate  transport.Addr // my cluster's surrogate (may be self)
 	isSurro    bool
+	leaseTTL   time.Duration // bootstrap's lease lifetime (0 = no leases)
+	renewing   bool          // lease-renewal loop running
+	rejoining  bool          // background re-election running
 	closeSet   []transport.CloseEntry
 	// members tracks nodal info published by cluster members (surrogate
 	// role).
@@ -187,8 +271,10 @@ type Node struct {
 	// flows maps relay flow IDs to their forwarding destinations.
 	flows      map[uint64]transport.Addr
 	nextFlowID uint64
-	// received collects voice payload sizes per flow (callee role).
-	received map[uint64]int
+	// received collects voice payload sizes per sending peer (callee
+	// role). Keyed by sender address: the terminal hop always carries
+	// FlowID 0, so a flow-keyed map would merge concurrent callers.
+	received map[transport.Addr]int
 	// outFlows caches the flow ID opened on each relay per callee, so
 	// voice sends and keepalives share one relay flow per call.
 	outFlows map[flowKey]uint64
@@ -212,7 +298,8 @@ type QualityReport struct {
 
 // NewNode builds and serves a peer on addr, then joins via the bootstrap
 // (end-host duty 1). If the cluster has no surrogate yet, the node
-// volunteers (duty 2) and registers.
+// volunteers (duty 2) and registers with compare-and-swap semantics, so
+// concurrent joiners converge on a single surrogate.
 func NewNode(tr transport.Transport, addr transport.Addr, cfg NodeConfig) (*Node, error) {
 	if err := cfg.Params.Validate(); err != nil {
 		return nil, err
@@ -220,43 +307,47 @@ func NewNode(tr transport.Transport, addr transport.Addr, cfg NodeConfig) (*Node
 	n := &Node{
 		cfg:      cfg,
 		tr:       tr,
+		retry:    cfg.Retry.withDefaults(),
 		members:  make(map[transport.Addr]transport.NodalInfo),
 		flows:    make(map[uint64]transport.Addr),
-		received: make(map[uint64]int),
+		received: make(map[transport.Addr]int),
 		outFlows: make(map[flowKey]uint64),
 		quality:  make(map[transport.Addr]QualityReport),
 	}
+	n.ctx, n.cancel = context.WithCancel(context.Background())
 	bound, err := tr.Serve(addr, n.handle)
 	if err != nil {
 		return nil, err
 	}
 	n.addr = bound
 
-	// Join.
-	resp, err := tr.Call(cfg.Bootstrap, &transport.Message{
+	// Join (with backoff — a bootstrap missing one beat must not abort).
+	resp, err := n.retryCall(cfg.Bootstrap, &transport.Message{
 		Type: transport.MsgJoin, From: n.addr, IP: cfg.IP,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: join: %w", err)
 	}
+	n.mu.Lock()
 	n.asn = asgraph.ASN(resp.ASN)
 	n.clusterKey = resp.ClusterKey
 	n.surrogate = resp.SurrogateAddr
+	n.mu.Unlock()
 
-	if n.surrogate == "" {
-		if err := n.becomeSurrogate(); err != nil {
+	if resp.SurrogateAddr == "" {
+		if err := n.tryBecomeSurrogate(); err != nil {
 			return nil, err
 		}
-	} else if n.surrogate != n.addr {
+	} else if resp.SurrogateAddr != n.addr {
 		// Publish nodal info to the incumbent (end-host duty 3).
-		_, err := tr.Call(n.surrogate, &transport.Message{
-			Type: transport.MsgPublishNodalInfo, From: n.addr,
-			Nodal: cfg.Nodal,
-		})
-		if err != nil {
-			// Surrogate gone: volunteer.
-			if err := n.becomeSurrogate(); err != nil {
-				return nil, err
+		if err := n.publishNodal(); err != nil {
+			// Incumbent unreachable even after retries. A transient publish
+			// failure must not hijack the surrogate role: re-check the
+			// bootstrap's lease state and volunteer only if the incumbent
+			// is confirmed gone (lease expired). While the lease is live we
+			// stay a member and re-elect on demand later.
+			if _, rerr := n.reelect(); rerr != nil {
+				return nil, fmt.Errorf("core: publish nodal info: %w", err)
 			}
 		}
 	}
@@ -267,7 +358,11 @@ func NewNode(tr transport.Transport, addr transport.Addr, cfg NodeConfig) (*Node
 func (n *Node) Addr() transport.Addr { return n.addr }
 
 // ClusterKey returns the node's prefix-cluster identity.
-func (n *Node) ClusterKey() string { return n.clusterKey }
+func (n *Node) ClusterKey() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.clusterKey
+}
 
 // IsSurrogate reports whether the node currently serves its cluster.
 func (n *Node) IsSurrogate() bool {
@@ -276,19 +371,205 @@ func (n *Node) IsSurrogate() bool {
 	return n.isSurro
 }
 
-func (n *Node) becomeSurrogate() error {
+// Surrogate returns the cluster surrogate this node currently follows
+// (its own address when it serves the cluster itself).
+func (n *Node) Surrogate() transport.Addr {
 	n.mu.Lock()
-	n.isSurro = true
-	n.surrogate = n.addr
+	defer n.mu.Unlock()
+	return n.surrogate
+}
+
+// Close stops the node's background loops (lease renewal, pending
+// re-elections) and cancels in-flight retries. The transport binding is
+// left to the transport's own Close.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
 	n.mu.Unlock()
-	_, err := n.tr.Call(n.cfg.Bootstrap, &transport.Message{
+	n.cancel()
+	n.wg.Wait()
+}
+
+// retryCall performs one control-plane request under the node's retry
+// policy. Only transport-level failures are retried.
+func (n *Node) retryCall(to transport.Addr, req *transport.Message) (*transport.Message, error) {
+	var resp *transport.Message
+	err := n.retry.Do(n.ctx, func() error {
+		r, err := n.tr.Call(to, req)
+		if err != nil {
+			return err
+		}
+		resp = r
+		return nil
+	})
+	return resp, err
+}
+
+// publishNodal publishes this node's capability information to its
+// surrogate (end-host duty 3). A no-op when the node serves itself.
+func (n *Node) publishNodal() error {
+	n.mu.Lock()
+	sur := n.surrogate
+	self := n.isSurro
+	n.mu.Unlock()
+	if self || sur == "" || sur == n.addr {
+		return nil
+	}
+	_, err := n.retryCall(sur, &transport.Message{
+		Type: transport.MsgPublishNodalInfo, From: n.addr, Nodal: n.cfg.Nodal,
+	})
+	return err
+}
+
+// tryBecomeSurrogate volunteers for the cluster with CAS semantics: if a
+// live incumbent already holds the lease, the node adopts it as a member
+// instead. On success the node starts lease renewal and builds its close
+// set (a failed initial build leaves the set empty — degraded but
+// serving; RefreshCloseSet can repair it any time).
+func (n *Node) tryBecomeSurrogate() error {
+	n.mu.Lock()
+	key := n.clusterKey
+	n.mu.Unlock()
+	resp, err := n.retryCall(n.cfg.Bootstrap, &transport.Message{
 		Type: transport.MsgRegisterSurrogate, From: n.addr,
-		ClusterKey: n.clusterKey, SurrogateAddr: n.addr,
+		ClusterKey: key, SurrogateAddr: n.addr,
 	})
 	if err != nil {
 		return fmt.Errorf("core: register surrogate: %w", err)
 	}
-	return n.RefreshCloseSet()
+	if resp.SurrogateAddr != "" && resp.SurrogateAddr != n.addr {
+		// Lost the registration race: a live surrogate beat us. Serve as a
+		// plain member of the winner.
+		n.mu.Lock()
+		n.isSurro = false
+		n.surrogate = resp.SurrogateAddr
+		n.mu.Unlock()
+		return n.publishNodal()
+	}
+	n.mu.Lock()
+	n.isSurro = true
+	n.surrogate = n.addr
+	n.leaseTTL = resp.LeaseTTL
+	n.mu.Unlock()
+	n.startRenewal(resp.LeaseTTL)
+	_ = n.RefreshCloseSet()
+	return nil
+}
+
+// startRenewal launches the lease-renewal heartbeat loop (no-op when
+// leases are disabled or a loop is already running).
+func (n *Node) startRenewal(ttl time.Duration) {
+	if ttl <= 0 {
+		return
+	}
+	n.mu.Lock()
+	if n.renewing || n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.renewing = true
+	n.wg.Add(1)
+	n.mu.Unlock()
+	interval := ttl / 3
+	if interval < 5*time.Millisecond {
+		interval = 5 * time.Millisecond
+	}
+	go func() {
+		defer n.wg.Done()
+		defer func() {
+			n.mu.Lock()
+			n.renewing = false
+			n.mu.Unlock()
+		}()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-n.ctx.Done():
+				return
+			case <-t.C:
+			}
+			if !n.IsSurrogate() {
+				return
+			}
+			n.mu.Lock()
+			key := n.clusterKey
+			n.mu.Unlock()
+			resp, err := n.retryCall(n.cfg.Bootstrap, &transport.Message{
+				Type: transport.MsgSurrogateHeartbeat, From: n.addr,
+				ClusterKey: key, SurrogateAddr: n.addr,
+			})
+			if err != nil {
+				// Bootstrap outage: keep serving and retry next tick — the
+				// heartbeat re-acquires the lease once the bootstrap heals.
+				continue
+			}
+			if resp.SurrogateAddr != "" && resp.SurrogateAddr != n.addr {
+				// Lease lost to a live rival (e.g. it registered during our
+				// own outage): demote and follow it.
+				n.mu.Lock()
+				n.isSurro = false
+				n.surrogate = resp.SurrogateAddr
+				n.mu.Unlock()
+				_ = n.publishNodal()
+				return
+			}
+		}
+	}()
+}
+
+// reelect re-runs the join to learn the bootstrap's current lease state
+// after the surrogate stopped answering: it adopts a fresh incumbent, or
+// volunteers when the cluster is vacant (end-host duty 2), republishing
+// nodal info either way. It returns the surrogate the node now follows.
+func (n *Node) reelect() (transport.Addr, error) {
+	resp, err := n.retryCall(n.cfg.Bootstrap, &transport.Message{
+		Type: transport.MsgJoin, From: n.addr, IP: n.cfg.IP,
+	})
+	if err != nil {
+		return "", fmt.Errorf("core: rejoin: %w", err)
+	}
+	sur := resp.SurrogateAddr
+	if sur == "" || sur == n.addr {
+		if err := n.tryBecomeSurrogate(); err != nil {
+			return "", err
+		}
+		return n.Surrogate(), nil
+	}
+	n.mu.Lock()
+	changed := n.surrogate != sur
+	n.surrogate = sur
+	n.isSurro = false
+	n.mu.Unlock()
+	if changed {
+		_ = n.publishNodal()
+	}
+	return sur, nil
+}
+
+// asyncReelect triggers reelect in the background, at most one at a time.
+// Message handlers use it so a degraded reply is never delayed by a
+// re-election round.
+func (n *Node) asyncReelect() {
+	n.mu.Lock()
+	if n.rejoining || n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.rejoining = true
+	n.wg.Add(1)
+	n.mu.Unlock()
+	go func() {
+		defer n.wg.Done()
+		_, _ = n.reelect()
+		n.mu.Lock()
+		n.rejoining = false
+		n.mu.Unlock()
+	}()
 }
 
 // Ping measures the RTT to another node over the transport.
@@ -306,33 +587,86 @@ func (n *Node) Ping(to transport.Addr) (time.Duration, error) {
 	return time.Since(start), nil
 }
 
+// pingWithTimeout bounds a close-set probe ping so one stalled surrogate
+// cannot stall the whole rebuild.
+func (n *Node) pingWithTimeout(to transport.Addr) (time.Duration, error) {
+	timeout := n.cfg.PingTimeout
+	if timeout <= 0 {
+		timeout = 2 * n.cfg.Params.LatT
+	}
+	type result struct {
+		rtt time.Duration
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		rtt, err := n.Ping(to)
+		ch <- result{rtt, err}
+	}()
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case r := <-ch:
+		return r.rtt, r.err
+	case <-t.C:
+		return 0, fmt.Errorf("core: ping %s: %w", to, context.DeadlineExceeded)
+	}
+}
+
 // RefreshCloseSet rebuilds the close cluster set by asking the bootstrap
 // for surrogates within K valley-free AS hops and pinging each
 // (construct-close-cluster-set with the latency threshold; loss
 // thresholding needs multi-packet trains and is left to the algorithmic
-// layer).
+// layer). Pings run through a bounded worker pool with a per-ping
+// timeout, so one slow surrogate delays — not serializes — the rebuild.
 func (n *Node) RefreshCloseSet() error {
-	resp, err := n.tr.Call(n.cfg.Bootstrap, &transport.Message{
+	n.mu.Lock()
+	asn := n.asn
+	key := n.clusterKey
+	n.mu.Unlock()
+	resp, err := n.retryCall(n.cfg.Bootstrap, &transport.Message{
 		Type: transport.MsgGetSurrogates, From: n.addr,
-		ASNs: []uint32{uint32(n.asn)},
+		ASNs: []uint32{uint32(asn)},
 	})
 	if err != nil {
 		return fmt.Errorf("core: get surrogates: %w", err)
 	}
-	var set []transport.CloseEntry
+	var cands []transport.CloseEntry
 	for _, e := range resp.CloseSet {
-		if e.ClusterKey == n.clusterKey {
-			continue
+		if e.ClusterKey != key {
+			cands = append(cands, e)
 		}
-		rtt, err := n.Ping(e.SurrogateAddr)
-		if err != nil || rtt >= n.cfg.Params.LatT {
-			continue
+	}
+	workers := n.cfg.PingWorkers
+	if workers <= 0 {
+		workers = 8
+	}
+	rtts := make([]time.Duration, len(cands))
+	oks := make([]bool, len(cands))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range cands {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rtt, err := n.pingWithTimeout(cands[i].SurrogateAddr)
+			if err == nil && rtt < n.cfg.Params.LatT {
+				rtts[i], oks[i] = rtt, true
+			}
+		}(i)
+	}
+	wg.Wait()
+	var set []transport.CloseEntry
+	for i, e := range cands {
+		if oks[i] {
+			set = append(set, transport.CloseEntry{
+				ClusterKey:    e.ClusterKey,
+				SurrogateAddr: e.SurrogateAddr,
+				RTT:           rtts[i],
+			})
 		}
-		set = append(set, transport.CloseEntry{
-			ClusterKey:    e.ClusterKey,
-			SurrogateAddr: e.SurrogateAddr,
-			RTT:           rtt,
-		})
 	}
 	n.mu.Lock()
 	n.closeSet = set
@@ -341,7 +675,8 @@ func (n *Node) RefreshCloseSet() error {
 }
 
 // CloseSet returns the node's current close cluster set, fetching it from
-// the cluster surrogate when the node is a plain member.
+// the cluster surrogate when the node is a plain member. An unresponsive
+// surrogate triggers one re-election round before giving up.
 func (n *Node) CloseSet() ([]transport.CloseEntry, error) {
 	n.mu.Lock()
 	isSurro := n.isSurro
@@ -351,7 +686,30 @@ func (n *Node) CloseSet() ([]transport.CloseEntry, error) {
 	if isSurro {
 		return cached, nil
 	}
-	resp, err := n.tr.Call(sur, &transport.Message{
+	resp, err := n.retryCall(sur, &transport.Message{
+		Type: transport.MsgGetCloseSet, From: n.addr,
+	})
+	if err == nil {
+		return resp.CloseSet, nil
+	}
+	// Surrogate gone after retries: re-elect and try the replacement.
+	if _, rerr := n.reelect(); rerr != nil {
+		return nil, fmt.Errorf("core: fetch close set: %w", err)
+	}
+	n.mu.Lock()
+	isSurro = n.isSurro
+	next := n.surrogate
+	cached = n.closeSet
+	n.mu.Unlock()
+	if isSurro {
+		return cached, nil
+	}
+	if next == sur {
+		// The bootstrap still leases the unresponsive incumbent; nothing
+		// new to ask.
+		return nil, fmt.Errorf("core: fetch close set: %w", err)
+	}
+	resp, err = n.retryCall(next, &transport.Message{
 		Type: transport.MsgGetCloseSet, From: n.addr,
 	})
 	if err != nil {
@@ -382,13 +740,28 @@ type RelayChoice struct {
 	// (Ranked[0] is the chosen relay when one was selected). The live
 	// session layer draws its backup paths from this list.
 	Ranked []RelayCandidate
+	// Degraded marks a direct fallback forced by a control-plane failure
+	// (close set or callee surrogate unreachable) rather than chosen on
+	// merit. The session monitor's reselect hook upgrades the path once
+	// the control plane heals.
+	Degraded bool
 }
 
 // SetupCall performs the Fig. 10 one-hop selection against a live callee:
 // measure direct, fetch the callee's close set (2 messages), intersect
-// with ours, and pick the lowest-estimate relay under latT.
+// with ours, and pick the lowest-estimate relay under latT. Control-plane
+// failures degrade to a direct call (Degraded set) instead of erroring;
+// only an unreachable callee fails the setup.
 func (n *Node) SetupCall(callee transport.Addr) (*RelayChoice, error) {
-	direct, err := n.Ping(callee)
+	var direct time.Duration
+	err := n.retry.Do(n.ctx, func() error {
+		d, err := n.Ping(callee)
+		if err != nil {
+			return err
+		}
+		direct = d
+		return nil
+	})
 	if err != nil {
 		return nil, fmt.Errorf("core: callee unreachable: %w", err)
 	}
@@ -398,13 +771,23 @@ func (n *Node) SetupCall(callee transport.Addr) (*RelayChoice, error) {
 	}
 	mine, err := n.CloseSet()
 	if err != nil {
-		return nil, err
+		// Our control plane is down: place the call direct now; the
+		// session monitor upgrades it once a relay is findable again.
+		choice.Degraded = true
+		return choice, nil
 	}
-	resp, err := n.tr.Call(callee, &transport.Message{
+	resp, err := n.retryCall(callee, &transport.Message{
 		Type: transport.MsgCallSetup, From: n.addr,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("core: call setup: %w", err)
+		// The callee answers pings but not setup (flaky path): degrade.
+		choice.Degraded = true
+		return choice, nil
+	}
+	if resp.Degraded {
+		// The callee could not reach its surrogate and answered with an
+		// empty set.
+		choice.Degraded = true
 	}
 	theirs := make(map[string]transport.CloseEntry, len(resp.CloseSet))
 	for _, e := range resp.CloseSet {
@@ -431,6 +814,9 @@ func (n *Node) SetupCall(callee transport.Addr) (*RelayChoice, error) {
 	sort.Slice(choice.Ranked, func(i, j int) bool {
 		return choice.Ranked[i].Est < choice.Ranked[j].Est
 	})
+	if choice.Relay != "" {
+		choice.Degraded = false
+	}
 	return choice, nil
 }
 
@@ -445,7 +831,7 @@ func (n *Node) EnsureFlow(relay, callee transport.Addr) (uint64, error) {
 	if ok {
 		return id, nil
 	}
-	open, err := n.tr.Call(relay, &transport.Message{
+	open, err := n.retryCall(relay, &transport.Message{
 		Type: transport.MsgRelayOpen, From: n.addr, Dst: callee,
 	})
 	if err != nil {
@@ -561,7 +947,7 @@ func (n *Node) PeerQuality(peer transport.Addr) (QualityReport, bool) {
 }
 
 // ReceivedBytes reports how many voice payload bytes this node has
-// accepted as the callee.
+// accepted as the callee, across all senders.
 func (n *Node) ReceivedBytes() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -570,6 +956,14 @@ func (n *Node) ReceivedBytes() int {
 		total += v
 	}
 	return total
+}
+
+// ReceivedBytesFrom reports how many voice payload bytes this node has
+// accepted from one sending peer.
+func (n *Node) ReceivedBytesFrom(peer transport.Addr) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.received[peer]
 }
 
 func (n *Node) handle(from transport.Addr, req *transport.Message) (*transport.Message, error) {
@@ -590,7 +984,12 @@ func (n *Node) handle(from transport.Addr, req *transport.Message) (*transport.M
 				Type: transport.MsgGetCloseSet, From: n.addr,
 			})
 			if err != nil {
-				return nil, fmt.Errorf("core: surrogate unreachable: %w", err)
+				// Surrogate gone: degrade to an empty set so the call can
+				// proceed direct, and re-elect in the background.
+				n.asyncReelect()
+				return &transport.Message{
+					Type: transport.MsgCallSetupReply, Degraded: true,
+				}, nil
 			}
 			set = resp.CloseSet
 		}
@@ -651,9 +1050,10 @@ func (n *Node) handle(from transport.Addr, req *transport.Message) (*transport.M
 			dst, ok := n.flows[req.FlowID]
 			n.mu.Unlock()
 			if ok && dst != n.addr {
-				// Relay role: forward and propagate the ack.
+				// Relay role: forward and propagate the ack. From stays the
+				// original caller so the callee's per-peer accounting
+				// attributes bytes to the speaker, not the relay.
 				fwd := *req
-				fwd.From = n.addr
 				fwd.FlowID = 0 // terminal hop
 				return n.tr.Call(dst, &fwd)
 			}
@@ -661,9 +1061,11 @@ func (n *Node) handle(from transport.Addr, req *transport.Message) (*transport.M
 				return nil, fmt.Errorf("core: unknown relay flow %d", req.FlowID)
 			}
 		}
-		// Callee role: accept the batch.
+		// Callee role: accept the batch, accounting per sender (the
+		// terminal hop always carries FlowID 0, so concurrent callers
+		// would merge under a flow-keyed counter).
 		n.mu.Lock()
-		n.received[req.FlowID] += len(req.Frames)
+		n.received[from] += len(req.Frames)
 		n.mu.Unlock()
 		return &transport.Message{Type: transport.MsgVoiceAck, Seq: req.Seq}, nil
 

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"asap/internal/transport"
+)
+
+func fastRetry(attempts int) RetryPolicy {
+	return RetryPolicy{
+		Attempts:   attempts,
+		BaseDelay:  time.Millisecond,
+		MaxDelay:   4 * time.Millisecond,
+		Multiplier: 2,
+	}
+}
+
+func TestRetryTransientEventuallySucceeds(t *testing.T) {
+	calls := 0
+	err := fastRetry(4).Do(context.Background(), func() error {
+		calls++
+		if calls < 3 {
+			return fmt.Errorf("%w: x", transport.ErrUnreachable)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("op ran %d times, want 3", calls)
+	}
+}
+
+func TestRetryNonTransientFailsImmediately(t *testing.T) {
+	calls := 0
+	boom := errors.New("handler rejected")
+	err := fastRetry(4).Do(context.Background(), func() error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Do = %v, want %v", err, boom)
+	}
+	if calls != 1 {
+		t.Fatalf("op ran %d times, want 1 (no retry for protocol errors)", calls)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	calls := 0
+	err := fastRetry(3).Do(context.Background(), func() error {
+		calls++
+		return fmt.Errorf("%w: down", transport.ErrUnreachable)
+	})
+	if !errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("Do = %v, want ErrUnreachable", err)
+	}
+	if calls != 3 {
+		t.Fatalf("op ran %d times, want exactly Attempts=3", calls)
+	}
+}
+
+func TestRetryContextCancelStopsBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	p := RetryPolicy{Attempts: 10, BaseDelay: time.Hour, MaxDelay: time.Hour, Multiplier: 2}
+	done := make(chan error, 1)
+	go func() {
+		done <- p.Do(ctx, func() error {
+			calls++
+			return fmt.Errorf("%w: down", transport.ErrUnreachable)
+		})
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, transport.ErrUnreachable) {
+			t.Fatalf("Do = %v, want the op's last error, not the cancel", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Do did not return after context cancellation")
+	}
+	if calls != 1 {
+		t.Fatalf("op ran %d times, want 1", calls)
+	}
+}
+
+func TestRetryZeroValueUsesDefaults(t *testing.T) {
+	p := RetryPolicy{}.withDefaults()
+	d := DefaultRetryPolicy()
+	// Jitter's zero value means "no jitter" (a zero field cannot signal
+	// "unset"); every other field inherits the default.
+	d.Jitter = 0
+	if p != d {
+		t.Fatalf("zero policy withDefaults = %+v, want %+v", p, d)
+	}
+	// A zero-value policy must still terminate.
+	calls := 0
+	err := RetryPolicy{BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}.Do(
+		context.Background(), func() error {
+			calls++
+			return fmt.Errorf("%w: down", transport.ErrUnreachable)
+		})
+	if !errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("Do = %v", err)
+	}
+	if calls != d.Attempts {
+		t.Fatalf("op ran %d times, want default Attempts=%d", calls, d.Attempts)
+	}
+}

@@ -1,0 +1,312 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"asap/internal/asgraph"
+	"asap/internal/core"
+	"asap/internal/transport"
+)
+
+// The churn experiment measures the control-plane robustness layer end to
+// end on the live actors (not the simulation): a three-cluster deployment
+// places a stream of calls while the bootstrap suffers an outage window
+// and the callee cluster's surrogate is killed mid-workload. Two arms run
+// the identical seeded fault schedule:
+//
+//   - "lease": surrogate registrations expire unless renewed by
+//     heartbeat, so after the kill the bootstrap stops handing out the
+//     dead surrogate, the surviving member re-elects itself, and relayed
+//     call setup recovers.
+//   - "no-lease": registrations never expire (the pre-lease protocol).
+//     The dead surrogate is handed out forever; calls keep completing
+//     only because setup degrades to direct.
+//
+// Reported per arm: call-success rate, how many calls used a relay after
+// the kill, whether the cluster re-elected, and the re-election latency.
+
+// ChurnConfig parameterizes one churn run.
+type ChurnConfig struct {
+	// Calls is the number of calls placed (sequentially) by the workload.
+	Calls int
+	// CallGap is the pause between consecutive calls.
+	CallGap time.Duration
+	// OutageAfter is the call index before which the bootstrap enters its
+	// outage window.
+	OutageAfter int
+	// BootstrapOutage is how long the bootstrap stays unreachable.
+	BootstrapOutage time.Duration
+	// KillAfter is the call index before which the callee cluster's
+	// surrogate is killed.
+	KillAfter int
+	// LeaseTTL is the lease arm's surrogate-lease lifetime (the no-lease
+	// arm always runs with 0).
+	LeaseTTL time.Duration
+	// Drop is the background per-call drop probability both arms endure.
+	Drop float64
+	// Seed seeds the chaos transport.
+	Seed int64
+}
+
+// DefaultChurnConfig returns the standard churn workload.
+func DefaultChurnConfig() ChurnConfig {
+	return ChurnConfig{
+		Calls:           20,
+		CallGap:         5 * time.Millisecond,
+		OutageAfter:     3,
+		BootstrapOutage: 150 * time.Millisecond,
+		KillAfter:       7,
+		LeaseTTL:        120 * time.Millisecond,
+		Drop:            0.02,
+		Seed:            1,
+	}
+}
+
+func (c ChurnConfig) validate() error {
+	if c.Calls < 1 {
+		return fmt.Errorf("eval: churn needs at least one call")
+	}
+	if c.KillAfter < 0 || c.KillAfter >= c.Calls {
+		return fmt.Errorf("eval: need 0 <= KillAfter < Calls")
+	}
+	if c.LeaseTTL <= 0 {
+		return fmt.Errorf("eval: the lease arm needs LeaseTTL > 0")
+	}
+	if c.Drop < 0 || c.Drop >= 1 {
+		return fmt.Errorf("eval: Drop must be in [0,1)")
+	}
+	return nil
+}
+
+// ChurnArm is one policy's measured churn behaviour.
+type ChurnArm struct {
+	Method   string
+	LeaseTTL time.Duration
+	// Calls is the workload size; Completed counts calls that delivered
+	// voice (relayed, direct, or degraded-direct).
+	Calls     int
+	Completed int
+	// Relayed counts calls that delivered voice through a relay;
+	// RelayedAfterKill counts those placed after the surrogate kill — the
+	// recovery signal.
+	Relayed          int
+	RelayedAfterKill int
+	// Degraded counts calls that fell back to direct because of a
+	// control-plane failure.
+	Degraded int
+	// Reelected reports whether the callee cluster elected a replacement
+	// surrogate within the workload; ReelectLatency is the time from the
+	// kill to the first observation of the replacement.
+	Reelected      bool
+	ReelectLatency time.Duration
+}
+
+// SuccessRate is the fraction of calls that delivered voice.
+func (a ChurnArm) SuccessRate() float64 {
+	if a.Calls == 0 {
+		return 0
+	}
+	return float64(a.Completed) / float64(a.Calls)
+}
+
+// String renders an arm as one report line.
+func (a ChurnArm) String() string {
+	reelect := "no re-election"
+	if a.Reelected {
+		reelect = fmt.Sprintf("re-elected in %s", a.ReelectLatency.Round(time.Millisecond))
+	}
+	return fmt.Sprintf("%-16s success %d/%d (%.0f%%), relayed %d (%d after kill), degraded %d, %s",
+		a.Method, a.Completed, a.Calls, 100*a.SuccessRate(),
+		a.Relayed, a.RelayedAfterKill, a.Degraded, reelect)
+}
+
+// ChurnResult pairs the two arms.
+type ChurnResult struct {
+	Lease   ChurnArm
+	NoLease ChurnArm
+}
+
+// churnGraph is the experiment's AS topology: stub clusters AS100 and
+// AS200 sit far apart; multi-homed AS300 is close to both, so its
+// surrogate is the natural relay.
+func churnGraph() *asgraph.Graph {
+	b := asgraph.NewBuilder()
+	b.AddNode(asgraph.Node{ASN: 1, Tier: asgraph.TierT1, X: 0, Y: 0})
+	b.AddNode(asgraph.Node{ASN: 2, Tier: asgraph.TierT1, X: 1000, Y: 0})
+	b.AddNode(asgraph.Node{ASN: 10, Tier: asgraph.TierTransit, X: 0, Y: 500})
+	b.AddNode(asgraph.Node{ASN: 20, Tier: asgraph.TierTransit, X: 1000, Y: 500})
+	b.AddNode(asgraph.Node{ASN: 100, Tier: asgraph.TierStub, X: 0, Y: 1000})
+	b.AddNode(asgraph.Node{ASN: 200, Tier: asgraph.TierStub, X: 1000, Y: 1000})
+	b.AddNode(asgraph.Node{ASN: 300, Tier: asgraph.TierStub, X: 500, Y: 800})
+	b.AddEdge(1, 2, asgraph.RelP2P)
+	b.AddEdge(10, 1, asgraph.RelC2P)
+	b.AddEdge(20, 2, asgraph.RelC2P)
+	b.AddEdge(100, 10, asgraph.RelC2P)
+	b.AddEdge(200, 20, asgraph.RelC2P)
+	b.AddEdge(300, 10, asgraph.RelC2P)
+	b.AddEdge(300, 20, asgraph.RelC2P)
+	return b.Build()
+}
+
+// RunChurn runs the lease and no-lease arms over the identical fault
+// schedule and returns their measurements.
+func RunChurn(cfg ChurnConfig) (ChurnResult, error) {
+	if err := cfg.validate(); err != nil {
+		return ChurnResult{}, err
+	}
+	lease, err := runChurnArm(cfg, cfg.LeaseTTL, fmt.Sprintf("lease(%s)", cfg.LeaseTTL))
+	if err != nil {
+		return ChurnResult{}, err
+	}
+	nolease, err := runChurnArm(cfg, 0, "no-lease")
+	if err != nil {
+		return ChurnResult{}, err
+	}
+	return ChurnResult{Lease: lease, NoLease: nolease}, nil
+}
+
+func runChurnArm(cfg ChurnConfig, ttl time.Duration, method string) (ChurnArm, error) {
+	arm := ChurnArm{Method: method, LeaseTTL: ttl, Calls: cfg.Calls}
+
+	mem := transport.NewMem()
+	defer func() { _ = mem.Close() }()
+	// One-way delays: the 100<->200 direct path is slow (RTT 56ms, above
+	// LatT 55ms); both are 2ms from the relay cluster (relay estimate
+	// 4+4+40 = 48ms, under LatT and under direct).
+	mem.Latency = func(from, to transport.Addr) time.Duration {
+		cl := func(a transport.Addr) byte {
+			if len(a) != 2 {
+				return 'z' // bootstrap
+			}
+			return a[0]
+		}
+		cf, ct := cl(from), cl(to)
+		if cf > ct {
+			cf, ct = ct, cf
+		}
+		switch {
+		case cf == 'a' && ct == 'b':
+			return 28 * time.Millisecond
+		case (cf == 'a' || cf == 'b') && ct == 'c':
+			return 2 * time.Millisecond
+		default:
+			return time.Millisecond
+		}
+	}
+	chaos := transport.NewChaos(mem, cfg.Seed)
+	chaos.DropDefault(cfg.Drop)
+
+	bs, err := core.NewBootstrap(chaos, "bs", core.BootstrapConfig{
+		Graph: churnGraph(),
+		K:     4,
+		Prefixes: []core.PrefixOrigin{
+			{Prefix: "10.100.0.0/16", ASN: 100},
+			{Prefix: "10.200.0.0/16", ASN: 200},
+			{Prefix: "10.30.0.0/16", ASN: 300},
+		},
+		LeaseTTL: ttl,
+	})
+	if err != nil {
+		return arm, err
+	}
+
+	params := core.DefaultParams()
+	params.LatT = 55 * time.Millisecond
+	var nodes []*core.Node
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+	mk := func(addr transport.Addr, ip string) (*core.Node, error) {
+		n, err := core.NewNode(chaos, addr, core.NodeConfig{
+			IP: ip, Bootstrap: bs.Addr(), Params: params,
+			Retry: core.RetryPolicy{Attempts: 4, BaseDelay: 3 * time.Millisecond, MaxDelay: 25 * time.Millisecond, Multiplier: 2},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("eval: churn node %s: %w", addr, err)
+		}
+		nodes = append(nodes, n)
+		return n, nil
+	}
+	c0, err := mk("c0", "10.30.0.1") // relay cluster first so A/B see it
+	if err != nil {
+		return arm, err
+	}
+	a0, err := mk("a0", "10.100.0.1")
+	if err != nil {
+		return arm, err
+	}
+	a1, err := mk("a1", "10.100.0.2")
+	if err != nil {
+		return arm, err
+	}
+	b0, err := mk("b0", "10.200.0.1")
+	if err != nil {
+		return arm, err
+	}
+	b1, err := mk("b1", "10.200.0.2")
+	if err != nil {
+		return arm, err
+	}
+	for _, n := range []*core.Node{c0, a0, b0} {
+		if err := n.RefreshCloseSet(); err != nil {
+			return arm, fmt.Errorf("eval: churn refresh %s: %w", n.Addr(), err)
+		}
+	}
+
+	var killedAt time.Time
+	payload := []byte("churn-voice-frames")
+	for i := 0; i < cfg.Calls; i++ {
+		if i == cfg.OutageAfter {
+			chaos.OutageFor(bs.Addr(), cfg.BootstrapOutage)
+		}
+		if i == cfg.KillAfter {
+			b0.Close()
+			mem.Unbind(b0.Addr())
+			killedAt = time.Now()
+		}
+		choice, err := a1.SetupCall(b1.Addr())
+		if err == nil {
+			if err := a1.SendVoice(choice, b1.Addr(), payload, uint32(i)); err != nil {
+				// Voice path faulted mid-call: drop the dead relay flow and
+				// retry once on the direct path.
+				a1.DropFlow(choice.Relay, b1.Addr())
+				direct := &core.RelayChoice{Relay: ""}
+				if err := a1.SendVoice(direct, b1.Addr(), payload, uint32(i)); err == nil {
+					arm.Completed++
+					arm.Degraded++
+				}
+			} else {
+				arm.Completed++
+				switch {
+				case choice.Relay != "":
+					arm.Relayed++
+					if !killedAt.IsZero() {
+						arm.RelayedAfterKill++
+					}
+				case choice.Degraded:
+					arm.Degraded++
+				}
+			}
+		}
+		if !killedAt.IsZero() && !arm.Reelected && b1.IsSurrogate() {
+			arm.Reelected = true
+			arm.ReelectLatency = time.Since(killedAt)
+		}
+		time.Sleep(cfg.CallGap)
+	}
+	// A re-election that lands after the last call still counts, with the
+	// latency measured at observation time.
+	if !killedAt.IsZero() && !arm.Reelected && b1.IsSurrogate() {
+		arm.Reelected = true
+		arm.ReelectLatency = time.Since(killedAt)
+	}
+	return arm, nil
+}
+
+// String renders the churn result as a two-line report.
+func (r ChurnResult) String() string {
+	return r.Lease.String() + "\n" + r.NoLease.String()
+}

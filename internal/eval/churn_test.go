@@ -1,0 +1,56 @@
+package eval
+
+import (
+	"testing"
+	"time"
+)
+
+func TestChurnConfigValidation(t *testing.T) {
+	bad := []ChurnConfig{
+		{},
+		{Calls: 10, KillAfter: 10, LeaseTTL: time.Second},
+		{Calls: 10, KillAfter: -1, LeaseTTL: time.Second},
+		{Calls: 10, KillAfter: 3},
+		{Calls: 10, KillAfter: 3, LeaseTTL: time.Second, Drop: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := RunChurn(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+// TestChurnLeaseVsNoLease runs the full experiment: the lease arm must
+// re-elect the callee cluster's surrogate after the kill and recover
+// relayed call setup, while the no-lease arm stays stuck on the dead
+// incumbent. Both arms must keep completing calls (degradation, not
+// failure).
+func TestChurnLeaseVsNoLease(t *testing.T) {
+	res, err := RunChurn(DefaultChurnConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res)
+
+	if !res.Lease.Reelected {
+		t.Error("lease arm never re-elected a surrogate")
+	}
+	if res.Lease.Reelected && res.Lease.ReelectLatency <= 0 {
+		t.Error("lease arm re-elected with non-positive latency")
+	}
+	if res.Lease.RelayedAfterKill == 0 {
+		t.Error("lease arm never recovered relayed call setup after the kill")
+	}
+	if res.NoLease.Reelected {
+		t.Error("no-lease arm re-elected — expiry should be impossible with TTL 0")
+	}
+	if res.NoLease.RelayedAfterKill != 0 {
+		t.Error("no-lease arm relayed after the kill despite the dead incumbent")
+	}
+	if got := res.Lease.SuccessRate(); got < 0.8 {
+		t.Errorf("lease arm success rate %.2f, want >= 0.8", got)
+	}
+	if got := res.NoLease.SuccessRate(); got < 0.8 {
+		t.Errorf("no-lease arm success rate %.2f (degradation must keep calls alive), want >= 0.8", got)
+	}
+}

@@ -71,6 +71,13 @@ const (
 	// (observed loss and delay) feeding the caller's session monitor.
 	MsgQualityReport
 	MsgQualityReportAck
+
+	// MsgSurrogateHeartbeat: surrogate -> bootstrap. Renews the sender's
+	// surrogate lease (and re-acquires it after a bootstrap restart). The
+	// reply names the cluster's current lease holder, so a surrogate that
+	// lost its lease learns the incumbent and demotes itself.
+	MsgSurrogateHeartbeat
+	MsgSurrogateHeartbeatReply
 )
 
 // CloseEntry is one close-cluster-set entry on the wire.
@@ -135,4 +142,12 @@ type Message struct {
 	Loss float64
 	// SessionID identifies a live call session (MsgQualityReport).
 	SessionID uint64
+	// LeaseTTL is the bootstrap's surrogate-lease lifetime
+	// (MsgRegisterSurrogateReply, MsgSurrogateHeartbeatReply). Zero means
+	// leases are disabled: registrations never expire.
+	LeaseTTL time.Duration
+	// Degraded marks a MsgCallSetupReply produced without the answerer's
+	// surrogate (close set unavailable): the caller should fall back to a
+	// direct call rather than treating the setup as failed.
+	Degraded bool
 }

@@ -10,6 +10,7 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"encoding/gob"
 	"errors"
@@ -40,6 +41,21 @@ type Transport interface {
 
 // ErrUnreachable is returned when the destination does not answer.
 var ErrUnreachable = errors.New("transport: unreachable")
+
+// IsTransient reports whether err is a transport-level delivery failure
+// that a retry may fix (unreachable peer, timeout, broken connection), as
+// opposed to a remote handler rejecting the request — a protocol error a
+// retry can never fix. Retry helpers must consult this before backing off.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrUnreachable) || errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
+}
 
 // --- In-memory transport ---
 
@@ -187,12 +203,14 @@ func (t *TCP) Call(to Addr, req *Message) (*Message, error) {
 	if t.CallTimeout > 0 {
 		_ = conn.SetDeadline(time.Now().Add(t.CallTimeout))
 	}
+	// Frame-level failures (peer died mid-exchange, deadline hit) count as
+	// unreachable: the control-plane retry layer treats them as transient.
 	if err := writeFrame(conn, req); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, to, err)
 	}
 	resp, err := readFrame(conn)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, to, err)
 	}
 	if resp.Type == MsgError {
 		return nil, fmt.Errorf("transport: remote error: %s", resp.Error)
