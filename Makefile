@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet staticcheck bench chaos check
+.PHONY: build test race vet staticcheck bench bench-parallel profile chaos check
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,17 @@ staticcheck:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 0.2s .
+
+# bench-parallel measures the parallel evaluation harness against its
+# single-worker baseline (the output is identical by construction; the
+# ratio is pure wall-clock speedup and scales with core count).
+bench-parallel:
+	$(GO) test -run '^$$' -bench 'ComparisonSerial|ComparisonParallel|RoutingStudySerial|RoutingStudyParallel' -benchtime 5x -count 3 .
+
+# profile regenerates the small-profile comparison figures with CPU and
+# heap profiling enabled; inspect with `go tool pprof cpu.prof`.
+profile:
+	$(GO) run ./cmd/asapsim -profile small -figs 11,13,15,18 -cpuprofile cpu.prof -memprofile mem.prof
 
 # chaos runs the seeded fault-injection soak under the race detector:
 # drop probability, a bootstrap outage, a surrogate kill and a relay

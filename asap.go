@@ -57,9 +57,12 @@ var (
 // BuildWorld assembles a world for the profile.
 func BuildWorld(p Profile) (*World, error) { return eval.BuildWorld(p) }
 
-// RunComparison runs methods over sessions and scores them.
-func RunComparison(methods []Method, sessions []Session) *Comparison {
-	return eval.RunComparison(methods, sessions)
+// RunComparison runs methods over sessions and scores them. Sessions
+// are evaluated on `workers` goroutines (< 1 = all CPUs); every
+// (method, session) run draws from its own sub-seeded RNG, so the
+// result is identical for every worker count.
+func RunComparison(methods []Method, sessions []Session, seed int64, workers int) *Comparison {
+	return eval.RunComparison(methods, sessions, seed, workers)
 }
 
 // NewBaselineMethod, NewASAPMethod and NewOPTMethod wrap selectors for
@@ -86,9 +89,11 @@ type (
 // (K=4, latT=300ms, sizeT=300).
 func DefaultParams() Params { return core.DefaultParams() }
 
-// NewSystem assembles an ASAP system over a world's model and prober.
+// NewSystem assembles an ASAP system over a world's model and prober,
+// seeded from the world's profile so close-set construction is
+// deterministic under concurrency.
 func NewSystem(w *World, params Params) (*System, error) {
-	return core.NewSystem(w.Model, w.Prober, params)
+	return core.NewSystemSeeded(w.Model, w.Prober, params, w.Profile.Seed)
 }
 
 // The ASAP protocol (deployable actor layer).

@@ -83,7 +83,7 @@ func TestFacadeComparisonAndMOS(t *testing.T) {
 		asap.NewBaselineMethod(m, world.Engine),
 		asap.NewASAPMethod(sys, world.Engine),
 		asap.NewOPTMethod(world.Engine),
-	}, latent)
+	}, latent, world.Profile.Seed, 0)
 	if got := len(cmp.Order); got != 5 {
 		t.Fatalf("methods = %d", got)
 	}

@@ -233,7 +233,7 @@ func benchMethodOnLatent(b *testing.B, name string) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s := st.latent[i%len(st.latent)]
-		if _, err := m.Run(s); err != nil {
+		if _, err := m.Run(s, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -538,3 +538,60 @@ func BenchmarkTransportTCP(b *testing.B) {
 		}
 	}
 }
+
+// --- Parallel evaluation harness ---
+
+// benchComparisonWorkers runs the full five-method comparison over the
+// latent workload with a fixed worker count. The sub-seeded per-session
+// RNGs make the output identical for every count, so serial vs parallel
+// is a pure wall-clock comparison.
+func benchComparisonWorkers(b *testing.B, workers int) {
+	st := benchWorld(b)
+	methods := []eval.Method{
+		st.methods["DEDI"], st.methods["RAND"], st.methods["MIX"],
+		st.methods["ASAP"], st.methods["OPT"],
+	}
+	latent := st.latent
+	if len(latent) > 40 {
+		latent = latent[:40]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := eval.RunComparison(methods, latent, st.world.Profile.Seed, workers)
+		if len(c.Order) != len(methods) {
+			b.Fatal("comparison lost a method")
+		}
+	}
+}
+
+// BenchmarkComparisonSerial is the single-worker baseline for the
+// parallel-evaluation speedup measurement.
+func BenchmarkComparisonSerial(b *testing.B) { benchComparisonWorkers(b, 1) }
+
+// BenchmarkComparisonParallel runs the same workload on all CPUs; the
+// ratio to BenchmarkComparisonSerial is the harness speedup.
+func BenchmarkComparisonParallel(b *testing.B) { benchComparisonWorkers(b, 0) }
+
+// benchRoutingStudyWorkers sweeps the Section 3 routing study with a
+// fixed worker count.
+func benchRoutingStudyWorkers(b *testing.B, workers int) {
+	st := benchWorld(b)
+	sessions := st.sess
+	if len(sessions) > 600 {
+		sessions = sessions[:600]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := eval.RunRoutingStudy(st.world, sessions, 60, netmodel.QualityRTT, 0, workers)
+		if len(r.DirectMs) == 0 {
+			b.Fatal("empty routing study")
+		}
+	}
+}
+
+// BenchmarkRoutingStudySerial is the single-worker routing-study
+// baseline.
+func BenchmarkRoutingStudySerial(b *testing.B) { benchRoutingStudyWorkers(b, 1) }
+
+// BenchmarkRoutingStudyParallel runs the routing study on all CPUs.
+func BenchmarkRoutingStudyParallel(b *testing.B) { benchRoutingStudyWorkers(b, 0) }

@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -46,9 +48,38 @@ func run(args []string) error {
 		scaleRatio  = fs.Float64("scale", 4.434, "population ratio for Fig 17 (paper: 103625/23366)")
 		csvDir      = fs.String("csv", "", "also write raw figure series as CSV files into this directory")
 		kFlag       = fs.Int("k", 0, "valley-free BFS bound (0 = calibrate by the paper's 90%-quantile rule)")
+		parallel    = fs.Int("parallel", runtime.GOMAXPROCS(0), "measurement worker goroutines (output is identical for any value)")
+		cpuprofile  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "asapsim: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "asapsim: memprofile:", err)
+			}
+		}()
 	}
 
 	profile, err := eval.ProfileByName(*profileName)
@@ -98,7 +129,7 @@ func run(args []string) error {
 
 	if wantFig("2a", "2b", "3a", "3b") {
 		fmt.Println("== Section 3 routing study")
-		st := eval.RunRoutingStudy(w, sess, *pairSample, netmodel.QualityRTT, *latentCap)
+		st := eval.RunRoutingStudy(w, sess, *pairSample, netmodel.QualityRTT, *latentCap, *parallel)
 		if wantFig("2a") {
 			fmt.Println(st.FormatFig2a())
 		}
@@ -133,7 +164,7 @@ func run(args []string) error {
 	if *latentCap > 0 && len(used) > *latentCap {
 		used = used[:*latentCap]
 	}
-	cmp, err := runComparison(w, used, k, *dediN, *randN, *mixD, *mixR, true)
+	cmp, err := runComparison(w, used, k, *dediN, *randN, *mixD, *mixR, true, *parallel)
 	if err != nil {
 		return err
 	}
@@ -167,7 +198,7 @@ func run(args []string) error {
 		if *latentCap > 0 && len(blatent) > *latentCap {
 			blatent = blatent[:*latentCap]
 		}
-		bcmp, err := runComparison(bw, blatent, k, *dediN, *randN, *mixD, *mixR, false)
+		bcmp, err := runComparison(bw, blatent, k, *dediN, *randN, *mixD, *mixR, false, *parallel)
 		if err != nil {
 			return err
 		}
@@ -184,7 +215,7 @@ func run(args []string) error {
 	return nil
 }
 
-func runComparison(w *eval.World, sessions []eval.Session, k, dediN, randN, mixD, mixR int, withOPT bool) (*eval.Comparison, error) {
+func runComparison(w *eval.World, sessions []eval.Session, k, dediN, randN, mixD, mixR int, withOPT bool, workers int) (*eval.Comparison, error) {
 	params := core.DefaultParams()
 	params.K = k
 	sys, err := w.NewASAP(params)
@@ -204,6 +235,6 @@ func runComparison(w *eval.World, sessions []eval.Session, k, dediN, randN, mixD
 	if withOPT {
 		methods = append(methods, eval.NewOPTMethod(w.Engine))
 	}
-	fmt.Printf("== comparing %d methods on %d latent sessions\n", len(methods), len(sessions))
-	return eval.RunComparison(methods, sessions), nil
+	fmt.Printf("== comparing %d methods on %d latent sessions (%d workers)\n", len(methods), len(sessions), workers)
+	return eval.RunComparison(methods, sessions, w.Profile.Seed, workers), nil
 }

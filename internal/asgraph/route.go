@@ -234,57 +234,110 @@ func (g *Graph) BuildRouteTable(dst ASN) *RouteTable {
 	return t
 }
 
-// Router caches per-destination routing tables. It is safe for concurrent
-// use; table construction for a missing destination happens outside the
-// lock, so concurrent misses may both build, and one result wins.
-type Router struct {
-	g *Graph
-
-	mu     sync.RWMutex
-	tables map[ASN]*RouteTable
-	// order tracks insertion for FIFO eviction once maxTables is exceeded.
-	order []ASN
-	max   int
+// tableCall is a singleflight handle for one in-progress table build.
+// Waiters block on done; t is written before done is closed.
+type tableCall struct {
+	done chan struct{}
+	t    *RouteTable
 }
 
+// routerShard is one stripe of the Router's table cache, with its own
+// lock, FIFO eviction order and in-flight build registry.
+type routerShard struct {
+	mu       sync.RWMutex
+	tables   map[ASN]*RouteTable
+	order    []ASN // insertion order for FIFO eviction
+	max      int
+	inflight map[ASN]*tableCall
+}
+
+// Router caches per-destination routing tables. It is safe for concurrent
+// use: the cache is striped across shards so readers on different
+// destinations never contend, and concurrent misses for the same
+// destination are coalesced singleflight-style — exactly one goroutine
+// builds the table while the rest wait for its result.
+type Router struct {
+	g      *Graph
+	shards []routerShard
+}
+
+// routerShards caps the stripe count; the effective count also never
+// exceeds the table budget so per-shard capacity stays >= 1.
+const routerShards = 16
+
 // NewRouter returns a Router over g caching up to maxTables routing
-// tables (0 means a generous default).
+// tables (0 means a generous default). The budget is divided evenly
+// across shards, so the total cached count never exceeds maxTables.
 func NewRouter(g *Graph, maxTables int) *Router {
 	if maxTables <= 0 {
 		maxTables = 4096
 	}
-	return &Router{
-		g:      g,
-		tables: make(map[ASN]*RouteTable),
-		max:    maxTables,
+	n := routerShards
+	if maxTables < n {
+		n = maxTables
 	}
+	r := &Router{g: g, shards: make([]routerShard, n)}
+	for i := range r.shards {
+		r.shards[i] = routerShard{
+			tables:   make(map[ASN]*RouteTable),
+			max:      maxTables / n,
+			inflight: make(map[ASN]*tableCall),
+		}
+	}
+	return r
+}
+
+func (r *Router) shard(dst ASN) *routerShard {
+	h := uint64(dst)
+	h ^= h >> 16
+	h *= 0x9e3779b97f4a7c15
+	return &r.shards[(h>>32)%uint64(len(r.shards))]
 }
 
 // Table returns the routing table toward dst, building and caching it on
 // first use. It returns nil for an unknown destination.
 func (r *Router) Table(dst ASN) *RouteTable {
-	r.mu.RLock()
-	t := r.tables[dst]
-	r.mu.RUnlock()
+	sh := r.shard(dst)
+	sh.mu.RLock()
+	t := sh.tables[dst]
+	sh.mu.RUnlock()
 	if t != nil {
 		return t
 	}
+
+	sh.mu.Lock()
+	if t := sh.tables[dst]; t != nil {
+		sh.mu.Unlock()
+		return t
+	}
+	if c, ok := sh.inflight[dst]; ok {
+		// Another goroutine is building this table; wait for it.
+		sh.mu.Unlock()
+		<-c.done
+		return c.t
+	}
+	c := &tableCall{done: make(chan struct{})}
+	sh.inflight[dst] = c
+	sh.mu.Unlock()
+
+	// Build outside the lock: table construction is the expensive part and
+	// other destinations in this shard must not stall behind it.
 	t = r.g.BuildRouteTable(dst)
-	if t == nil {
-		return nil
+
+	sh.mu.Lock()
+	delete(sh.inflight, dst)
+	if t != nil {
+		if len(sh.order) >= sh.max {
+			evict := sh.order[0]
+			sh.order = sh.order[1:]
+			delete(sh.tables, evict)
+		}
+		sh.tables[dst] = t
+		sh.order = append(sh.order, dst)
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if existing, ok := r.tables[dst]; ok {
-		return existing
-	}
-	if len(r.order) >= r.max {
-		evict := r.order[0]
-		r.order = r.order[1:]
-		delete(r.tables, evict)
-	}
-	r.tables[dst] = t
-	r.order = append(r.order, dst)
+	sh.mu.Unlock()
+	c.t = t
+	close(c.done)
 	return t
 }
 
@@ -292,9 +345,23 @@ func (r *Router) Table(dst ASN) *RouteTable {
 // Latency models use it to pick whichever endpoint of a pair already has a
 // table, avoiding needless table builds.
 func (r *Router) HasTable(dst ASN) bool {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return r.tables[dst] != nil
+	sh := r.shard(dst)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.tables[dst] != nil
+}
+
+// CachedTables returns the number of routing tables currently cached
+// across all shards (for tests and capacity monitoring).
+func (r *Router) CachedTables() int {
+	n := 0
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		n += len(sh.tables)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Path returns the policy AS path from src to dst. To maximize cache

@@ -134,11 +134,12 @@ func TestRouterEviction(t *testing.T) {
 	for _, dst := range asns {
 		r.Table(dst)
 	}
-	r.mu.RLock()
-	n := len(r.tables)
-	r.mu.RUnlock()
-	if n > 2 {
+	if n := r.CachedTables(); n > 2 {
 		t.Errorf("cache holds %d tables, cap 2", n)
+	}
+	// Evicted tables must still be rebuildable.
+	if r.Table(asns[0]) == nil {
+		t.Error("evicted destination no longer buildable")
 	}
 }
 

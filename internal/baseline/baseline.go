@@ -40,8 +40,12 @@ type Result struct {
 type Selector interface {
 	// Name returns the method's label as used in the paper's figures.
 	Name() string
-	// Select probes relay candidates for the session h1 -> h2.
-	Select(h1, h2 cluster.HostID) (*Result, error)
+	// Select probes relay candidates for the session h1 -> h2. A non-nil
+	// rng makes the selection draw all its randomness (probe noise,
+	// random candidate sampling) from that private stream, so sessions
+	// can be evaluated concurrently and still reproduce the serial
+	// output; nil falls back to the selector's shared streams.
+	Select(h1, h2 cluster.HostID, rng *sim.RNG) (*Result, error)
 }
 
 // probeRelay measures a one-hop relay path h1 -> r -> h2 with two
@@ -98,9 +102,13 @@ func (d *Dedi) Name() string { return d.name }
 func (d *Dedi) Nodes() []cluster.HostID { return d.nodes }
 
 // Select implements Selector: probe every dedicated node.
-func (d *Dedi) Select(h1, h2 cluster.HostID) (*Result, error) {
+func (d *Dedi) Select(h1, h2 cluster.HostID, rng *sim.RNG) (*Result, error) {
 	ctr := sim.NewCounters()
-	p := d.prober.WithCounters(ctr)
+	p := d.prober
+	if rng != nil {
+		p = p.WithRNG(rng)
+	}
+	p = p.WithCounters(ctr)
 	res := &Result{}
 	for _, r := range d.nodes {
 		if r == h1 || r == h2 {
@@ -135,12 +143,19 @@ func NewRand(pop *cluster.Population, prober *netmodel.Prober, rng *sim.RNG, n i
 // Name implements Selector.
 func (r *Rand) Name() string { return r.name }
 
-// Select implements Selector: probe n random peers.
-func (r *Rand) Select(h1, h2 cluster.HostID) (*Result, error) {
+// Select implements Selector: probe n random peers. With a non-nil rng
+// both the candidate sample and the probe noise come from it.
+func (r *Rand) Select(h1, h2 cluster.HostID, rng *sim.RNG) (*Result, error) {
 	ctr := sim.NewCounters()
-	p := r.prober.WithCounters(ctr)
+	p := r.prober
+	sampler := r.rng
+	if rng != nil {
+		p = p.WithRNG(rng)
+		sampler = rng
+	}
+	p = p.WithCounters(ctr)
 	res := &Result{}
-	for _, i := range r.rng.Sample(r.pop.NumHosts(), r.n) {
+	for _, i := range sampler.Sample(r.pop.NumHosts(), r.n) {
 		relay := cluster.HostID(i)
 		if relay == h1 || relay == h2 {
 			continue
@@ -177,13 +192,15 @@ func NewMix(pop *cluster.Population, m *netmodel.Model, prober *netmodel.Prober,
 // Name implements Selector.
 func (m *Mix) Name() string { return "MIX" }
 
-// Select implements Selector.
-func (m *Mix) Select(h1, h2 cluster.HostID) (*Result, error) {
-	rd, err := m.dedi.Select(h1, h2)
+// Select implements Selector. The dedicated and the random halves draw
+// from the same rng in a fixed order, so one sub-seeded stream per
+// session reproduces the whole MIX selection.
+func (m *Mix) Select(h1, h2 cluster.HostID, rng *sim.RNG) (*Result, error) {
+	rd, err := m.dedi.Select(h1, h2, rng)
 	if err != nil {
 		return nil, err
 	}
-	rr, err := m.rand.Select(h1, h2)
+	rr, err := m.rand.Select(h1, h2, rng)
 	if err != nil {
 		return nil, err
 	}

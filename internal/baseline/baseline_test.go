@@ -98,7 +98,7 @@ func TestDediSelect(t *testing.T) {
 		t.Fatal(err)
 	}
 	h1, h2 := w.pair()
-	res, err := d.Select(h1, h2)
+	res, err := d.Select(h1, h2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +129,7 @@ func TestRandSelect(t *testing.T) {
 		t.Fatal(err)
 	}
 	h1, h2 := w.pair()
-	res, err := r.Select(h1, h2)
+	res, err := r.Select(h1, h2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,8 +156,8 @@ func TestRandSpreadsAcrossSessions(t *testing.T) {
 		t.Fatal(err)
 	}
 	h1, h2 := w.pair()
-	r1, _ := r.Select(h1, h2)
-	r2, _ := r.Select(h1, h2)
+	r1, _ := r.Select(h1, h2, nil)
+	r2, _ := r.Select(h1, h2, nil)
 	same := 0
 	set := make(map[cluster.HostID]bool)
 	for _, c := range r1.Candidates {
@@ -183,7 +183,7 @@ func TestMixSelect(t *testing.T) {
 		t.Errorf("name = %q", m.Name())
 	}
 	h1, h2 := w.pair()
-	res, err := m.Select(h1, h2)
+	res, err := m.Select(h1, h2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"asap/internal/transport"
+)
+
+// Surrogate role: close-cluster-set construction and serving. A surrogate
+// measures the surrogates of nearby clusters (construct-close-cluster-set,
+// Fig. 9, by live pinging) and answers members' close-set fetches; members
+// fall back to re-election when their surrogate stops answering.
+
+// Ping measures the RTT to another node over the transport.
+func (n *Node) Ping(to transport.Addr) (time.Duration, error) {
+	start := time.Now()
+	resp, err := n.tr.Call(to, &transport.Message{
+		Type: transport.MsgPing, From: n.addr, SentAt: start,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if resp.Type != transport.MsgPong {
+		return 0, fmt.Errorf("core: unexpected ping reply type %d", resp.Type)
+	}
+	return time.Since(start), nil
+}
+
+// pingWithTimeout bounds a close-set probe ping so one stalled surrogate
+// cannot stall the whole rebuild.
+func (n *Node) pingWithTimeout(to transport.Addr) (time.Duration, error) {
+	timeout := n.cfg.PingTimeout
+	if timeout <= 0 {
+		timeout = 2 * n.cfg.Params.LatT
+	}
+	type result struct {
+		rtt time.Duration
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		rtt, err := n.Ping(to)
+		ch <- result{rtt, err}
+	}()
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case r := <-ch:
+		return r.rtt, r.err
+	case <-t.C:
+		return 0, fmt.Errorf("core: ping %s: %w", to, context.DeadlineExceeded)
+	}
+}
+
+// RefreshCloseSet rebuilds the close cluster set by asking the bootstrap
+// for surrogates within K valley-free AS hops and pinging each
+// (construct-close-cluster-set with the latency threshold; loss
+// thresholding needs multi-packet trains and is left to the algorithmic
+// layer). Pings run through a bounded worker pool with a per-ping
+// timeout, so one slow surrogate delays — not serializes — the rebuild.
+func (n *Node) RefreshCloseSet() error {
+	n.mu.Lock()
+	asn := n.asn
+	key := n.clusterKey
+	n.mu.Unlock()
+	resp, err := n.retryCall(n.cfg.Bootstrap, &transport.Message{
+		Type: transport.MsgGetSurrogates, From: n.addr,
+		ASNs: []uint32{uint32(asn)},
+	})
+	if err != nil {
+		return fmt.Errorf("core: get surrogates: %w", err)
+	}
+	var cands []transport.CloseEntry
+	for _, e := range resp.CloseSet {
+		if e.ClusterKey != key {
+			cands = append(cands, e)
+		}
+	}
+	workers := n.cfg.PingWorkers
+	if workers <= 0 {
+		workers = 8
+	}
+	rtts := make([]time.Duration, len(cands))
+	oks := make([]bool, len(cands))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range cands {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rtt, err := n.pingWithTimeout(cands[i].SurrogateAddr)
+			if err == nil && rtt < n.cfg.Params.LatT {
+				rtts[i], oks[i] = rtt, true
+			}
+		}(i)
+	}
+	wg.Wait()
+	var set []transport.CloseEntry
+	for i, e := range cands {
+		if oks[i] {
+			set = append(set, transport.CloseEntry{
+				ClusterKey:    e.ClusterKey,
+				SurrogateAddr: e.SurrogateAddr,
+				RTT:           rtts[i],
+			})
+		}
+	}
+	n.mu.Lock()
+	n.closeSet = set
+	n.mu.Unlock()
+	return nil
+}
+
+// CloseSet returns the node's current close cluster set, fetching it from
+// the cluster surrogate when the node is a plain member. An unresponsive
+// surrogate triggers one re-election round before giving up.
+func (n *Node) CloseSet() ([]transport.CloseEntry, error) {
+	n.mu.Lock()
+	isSurro := n.isSurro
+	sur := n.surrogate
+	cached := n.closeSet
+	n.mu.Unlock()
+	if isSurro {
+		return cached, nil
+	}
+	resp, err := n.retryCall(sur, &transport.Message{
+		Type: transport.MsgGetCloseSet, From: n.addr,
+	})
+	if err == nil {
+		return resp.CloseSet, nil
+	}
+	// Surrogate gone after retries: re-elect and try the replacement.
+	if _, rerr := n.reelect(); rerr != nil {
+		return nil, fmt.Errorf("core: fetch close set: %w", err)
+	}
+	n.mu.Lock()
+	isSurro = n.isSurro
+	next := n.surrogate
+	cached = n.closeSet
+	n.mu.Unlock()
+	if isSurro {
+		return cached, nil
+	}
+	if next == sur {
+		// The bootstrap still leases the unresponsive incumbent; nothing
+		// new to ask.
+		return nil, fmt.Errorf("core: fetch close set: %w", err)
+	}
+	resp, err = n.retryCall(next, &transport.Message{
+		Type: transport.MsgGetCloseSet, From: n.addr,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: fetch close set: %w", err)
+	}
+	return resp.CloseSet, nil
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"asap/internal/cluster"
+	"asap/internal/netmodel"
 	"asap/internal/overlay"
 )
 
@@ -79,18 +80,30 @@ func (sel *Selection) BestEstimate() (time.Duration, bool) {
 //
 // The caller's own and callee's own clusters are excluded as relays.
 func (s *System) SelectCloseRelay(h1, h2 cluster.HostID) (*Selection, error) {
+	return s.SelectCloseRelayWith(h1, h2, s.prober)
+}
+
+// SelectCloseRelayWith is SelectCloseRelay with an explicit prober for the
+// session's own measurements (the direct ping). Parallel harnesses pass a
+// per-session sub-seeded prober so measurement noise does not depend on
+// scheduling order; close-set probes are unaffected (they draw from
+// per-cluster streams).
+func (s *System) SelectCloseRelayWith(h1, h2 cluster.HostID, prober *netmodel.Prober) (*Selection, error) {
 	if h1 == h2 {
 		return nil, fmt.Errorf("core: session endpoints are the same host %d", h1)
 	}
 	if !s.Alive(h1) || !s.Alive(h2) {
 		return nil, fmt.Errorf("core: session endpoint offline")
 	}
+	if prober == nil {
+		prober = s.prober
+	}
 	ha, hb := s.pop.Host(h1), s.pop.Host(h2)
 	sel := &Selection{}
 
 	// Step 1: direct measurement (system utility such as ping: 2 msgs).
 	sel.Messages += 2
-	if rtt, ok := s.prober.WithCounters(nil).HostRTT(h1, h2); ok {
+	if rtt, ok := prober.WithCounters(nil).HostRTT(h1, h2); ok {
 		sel.Direct, sel.DirectOK = rtt, true
 	}
 

@@ -40,23 +40,47 @@ func (s *CloseSet) Size() int { return len(s.Lat) }
 // global knowledge plus every surrogate's local state, with message costs
 // accounted as the distributed protocol would pay them.
 //
-// System is safe for concurrent use.
+// System is safe for concurrent use: state reads take a read lock, and
+// close-set construction is coalesced singleflight-style with probe noise
+// drawn from a per-cluster sub-seeded stream, so whichever goroutine builds
+// a cluster's set arrives at the identical result.
 type System struct {
 	pop    *cluster.Population
 	model  *netmodel.Model
 	prober *netmodel.Prober
 	params Params
+	seed   int64
 
-	mu         sync.Mutex
+	mu         sync.RWMutex
 	surrogates map[cluster.ClusterID]cluster.HostID
 	failed     map[cluster.HostID]bool
 	closeSets  map[cluster.ClusterID]*CloseSet
+	inflight   map[cluster.ClusterID]*closeSetCall
 	buildMsgs  int64 // cumulative close-set construction cost
+}
+
+// closeSetCall is a singleflight handle for one in-progress close-set
+// construction. Waiters block on done; cs/err are written before done is
+// closed.
+type closeSetCall struct {
+	done chan struct{}
+	cs   *CloseSet
+	err  error
 }
 
 // NewSystem assembles an ASAP system over the world. The prober is the
 // measurement interface surrogates use while constructing close sets.
+// Close-set probe noise derives from seed 1; use NewSystemSeeded to tie it
+// to an experiment seed.
 func NewSystem(model *netmodel.Model, prober *netmodel.Prober, params Params) (*System, error) {
+	return NewSystemSeeded(model, prober, params, 1)
+}
+
+// NewSystemSeeded is NewSystem with an explicit root seed for close-set
+// probe noise. Each cluster's construction draws from a private stream
+// sub-seeded by (seed, cluster ID), so sets are identical no matter which
+// goroutine builds them or in what order.
+func NewSystemSeeded(model *netmodel.Model, prober *netmodel.Prober, params Params, seed int64) (*System, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
@@ -71,9 +95,11 @@ func NewSystem(model *netmodel.Model, prober *netmodel.Prober, params Params) (*
 		model:      model,
 		prober:     prober,
 		params:     params,
+		seed:       seed,
 		surrogates: make(map[cluster.ClusterID]cluster.HostID),
 		failed:     make(map[cluster.HostID]bool),
 		closeSets:  make(map[cluster.ClusterID]*CloseSet),
+		inflight:   make(map[cluster.ClusterID]*closeSetCall),
 	}
 	// Initial surrogate election: every host publishes nodal information;
 	// the most capable host of each cluster becomes surrogate ("If there
@@ -95,6 +121,10 @@ func (s *System) Population() *cluster.Population { return s.pop }
 // Model returns the ground-truth model the system was built over.
 func (s *System) Model() *netmodel.Model { return s.model }
 
+// Prober returns the system's measurement prober. Callers running parallel
+// selections derive per-session probers from it with WithRNG.
+func (s *System) Prober() *netmodel.Prober { return s.prober }
+
 // electLocked picks the live host with the best nodal score in a cluster.
 // Returns -1 when every member has failed.
 func (s *System) electLocked(cid cluster.ClusterID) cluster.HostID {
@@ -115,8 +145,8 @@ func (s *System) electLocked(cid cluster.ClusterID) cluster.HostID {
 // Surrogate returns the current surrogate of a cluster, or false when the
 // whole cluster is down.
 func (s *System) Surrogate(cid cluster.ClusterID) (cluster.HostID, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	id, ok := s.surrogates[cid]
 	return id, ok && id >= 0
 }
@@ -156,8 +186,8 @@ func (s *System) ReviveHost(id cluster.HostID) {
 
 // Alive reports whether a host is online.
 func (s *System) Alive(id cluster.HostID) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return !s.failed[id]
 }
 
@@ -166,8 +196,8 @@ func (s *System) Alive(id cluster.HostID) bool {
 // overhead, reported separately from per-session overhead as in
 // Section 7.3.
 func (s *System) BuildMessages() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.buildMsgs
 }
 
@@ -176,26 +206,44 @@ func (s *System) BuildMessages() int64 {
 // continuously; the cache models that steady state). It returns an error
 // when the cluster has no live surrogate.
 func (s *System) CloseSet(cid cluster.ClusterID) (*CloseSet, error) {
+	s.mu.RLock()
+	cs, ok := s.closeSets[cid]
+	s.mu.RUnlock()
+	if ok {
+		return cs, nil
+	}
+
 	s.mu.Lock()
 	if cs, ok := s.closeSets[cid]; ok {
 		s.mu.Unlock()
 		return cs, nil
 	}
+	if c, ok := s.inflight[cid]; ok {
+		// Another goroutine is constructing this set; wait for its result.
+		s.mu.Unlock()
+		<-c.done
+		return c.cs, c.err
+	}
 	sur, ok := s.surrogates[cid]
-	s.mu.Unlock()
 	if !ok || sur < 0 {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("core: cluster %d has no live surrogate", cid)
 	}
+	c := &closeSetCall{done: make(chan struct{})}
+	s.inflight[cid] = c
+	s.mu.Unlock()
 
-	cs := s.constructCloseClusterSet(cid)
+	// Construct outside the lock: the valley-free BFS plus probing is the
+	// expensive part, and other clusters' lookups must not stall behind it.
+	cs = s.constructCloseClusterSet(cid)
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if existing, ok := s.closeSets[cid]; ok {
-		return existing, nil
-	}
+	delete(s.inflight, cid)
 	s.closeSets[cid] = cs
 	s.buildMsgs += cs.BuildMessages
+	s.mu.Unlock()
+	c.cs = cs
+	close(c.done)
 	return cs, nil
 }
 
@@ -212,7 +260,10 @@ func (s *System) constructCloseClusterSet(cid cluster.ClusterID) *CloseSet {
 		Lat:   make(map[cluster.ClusterID]time.Duration),
 	}
 	ctr := sim.NewCounters()
-	probe := s.prober.WithCounters(ctr)
+	// Probe noise comes from a stream sub-seeded by (system seed, cluster):
+	// the set's contents are a pure function of the cluster, independent of
+	// which goroutine constructs it or what other probes ran before.
+	probe := s.prober.WithRNG(sim.NewRNG(sim.SubSeed(s.seed, uint64(cid)))).WithCounters(ctr)
 
 	s.model.Graph().ValleyFreeTraverse(owner.AS, s.params.K, func(asn asgraph.ASN, hops int) bool {
 		clusters := s.pop.ClustersInAS(asn)

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"asap/internal/transport"
+)
+
+// Voice role: the in-call data path — relay flow management, voice frame
+// forwarding, path probing, keepalives and quality reporting. ProbePath
+// and Keepalive implement session.Driver for the live session monitor.
+
+// EnsureFlow opens a forwarding flow on relay toward callee, reusing a
+// previously opened one. Voice sends and session keepalives share the
+// returned flow ID for the life of the call.
+func (n *Node) EnsureFlow(relay, callee transport.Addr) (uint64, error) {
+	key := flowKey{relay: relay, callee: callee}
+	n.mu.Lock()
+	id, ok := n.outFlows[key]
+	n.mu.Unlock()
+	if ok {
+		return id, nil
+	}
+	open, err := n.retryCall(relay, &transport.Message{
+		Type: transport.MsgRelayOpen, From: n.addr, Dst: callee,
+	})
+	if err != nil {
+		return 0, fmt.Errorf("core: relay open: %w", err)
+	}
+	n.mu.Lock()
+	n.outFlows[key] = open.FlowID
+	n.mu.Unlock()
+	return open.FlowID, nil
+}
+
+// DropFlow forgets the cached flow on relay toward callee (after a
+// failover the dead relay's flow must not be reused).
+func (n *Node) DropFlow(relay, callee transport.Addr) {
+	n.mu.Lock()
+	delete(n.outFlows, flowKey{relay: relay, callee: callee})
+	n.mu.Unlock()
+}
+
+// SendVoice sends a voice frame batch to the callee, through the relay
+// when choice selected one. It returns the payload bytes delivered.
+func (n *Node) SendVoice(choice *RelayChoice, callee transport.Addr, frames []byte, seq uint32) error {
+	msg := &transport.Message{
+		Type: transport.MsgVoice, From: n.addr,
+		Dst: callee, Seq: seq, Frames: frames,
+	}
+	to := callee
+	if choice.Relay != "" {
+		id, err := n.EnsureFlow(choice.Relay, callee)
+		if err != nil {
+			return err
+		}
+		msg.FlowID = id
+		to = choice.Relay
+	}
+	resp, err := n.tr.Call(to, msg)
+	if err != nil {
+		return fmt.Errorf("core: voice send: %w", err)
+	}
+	if resp.Type != transport.MsgVoiceAck {
+		return fmt.Errorf("core: unexpected voice reply type %d", resp.Type)
+	}
+	return nil
+}
+
+// ProbePath measures the full voice-path round trip through relay to
+// callee (relay == "" probes the direct path) and pairs it with the
+// latest listener-reported loss, implementing session.Driver. The relay
+// leg uses MsgRelayProbe: the relay pings the callee before answering,
+// so the caller's wall-clock round trip covers caller->relay->callee.
+func (n *Node) ProbePath(relay, callee transport.Addr) (time.Duration, float64, error) {
+	start := time.Now()
+	var err error
+	if relay == "" {
+		_, err = n.Ping(callee)
+	} else {
+		var resp *transport.Message
+		resp, err = n.tr.Call(relay, &transport.Message{
+			Type: transport.MsgRelayProbe, From: n.addr, Dst: callee,
+		})
+		if err == nil && resp.Type != transport.MsgRelayProbeReply {
+			err = fmt.Errorf("core: unexpected relay probe reply type %d", resp.Type)
+		}
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	loss := 0.0
+	if q, ok := n.PeerQuality(callee); ok {
+		loss = q.Loss
+	}
+	return time.Since(start), loss, nil
+}
+
+// Keepalive checks that target (the active relay, or the callee on a
+// direct path) is alive and, when flowID is nonzero, still holds the
+// relay flow. Implements session.Driver.
+func (n *Node) Keepalive(target transport.Addr, flowID uint64) error {
+	resp, err := n.tr.Call(target, &transport.Message{
+		Type: transport.MsgKeepalive, From: n.addr, FlowID: flowID,
+	})
+	if err != nil {
+		return err
+	}
+	if resp.Type != transport.MsgKeepaliveAck {
+		return fmt.Errorf("core: unexpected keepalive reply type %d", resp.Type)
+	}
+	return nil
+}
+
+// SendQualityReport publishes this node's listener-side call quality to
+// the peer (callee -> caller in the usual flow).
+func (n *Node) SendQualityReport(peer transport.Addr, sessionID uint64, rtt time.Duration, loss float64) error {
+	resp, err := n.tr.Call(peer, &transport.Message{
+		Type: transport.MsgQualityReport, From: n.addr,
+		SessionID: sessionID, RTT: rtt, Loss: loss,
+	})
+	if err != nil {
+		return err
+	}
+	if resp.Type != transport.MsgQualityReportAck {
+		return fmt.Errorf("core: unexpected quality report reply type %d", resp.Type)
+	}
+	return nil
+}
+
+// PeerQuality returns the latest quality report received from peer.
+func (n *Node) PeerQuality(peer transport.Addr) (QualityReport, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	q, ok := n.quality[peer]
+	return q, ok
+}
+
+// ReceivedBytes reports how many voice payload bytes this node has
+// accepted as the callee, across all senders.
+func (n *Node) ReceivedBytes() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	total := 0
+	for _, v := range n.received {
+		total += v
+	}
+	return total
+}
+
+// ReceivedBytesFrom reports how many voice payload bytes this node has
+// accepted from one sending peer.
+func (n *Node) ReceivedBytesFrom(peer transport.Addr) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.received[peer]
+}

@@ -1,0 +1,107 @@
+package eval
+
+import (
+	"testing"
+
+	"asap/internal/core"
+	"asap/internal/netmodel"
+)
+
+// comparisonMethods assembles the full five-method lineup over a world.
+func comparisonMethods(t *testing.T, w *World) []Method {
+	t.Helper()
+	sys, err := w.NewASAP(core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, r, m, err := w.NewBaselines(15, 40, 8, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Method{
+		NewBaselineMethod(d, w.Engine),
+		NewBaselineMethod(r, w.Engine),
+		NewBaselineMethod(m, w.Engine),
+		NewASAPMethod(sys, w.Engine),
+		NewOPTMethod(w.Engine),
+	}
+}
+
+// formatAll renders every Section 7 figure of a comparison into one
+// string for byte-level equality checks.
+func formatAll(c *Comparison) string {
+	return c.FormatFig11and12() + c.FormatFig13and14() + c.FormatFig15and16() + c.FormatFig18()
+}
+
+// TestComparisonParallelMatchesSerial is the golden determinism check:
+// the parallel evaluation harness must produce byte-for-byte identical
+// figures to the serial run, for any worker count. Each worker count
+// runs on a freshly built world so no cache warmed by an earlier run
+// can mask a dependence on execution order; worker counts above the
+// session count force both "workers outnumber work" and "work
+// outnumbers workers" completion orderings.
+func TestComparisonParallelMatchesSerial(t *testing.T) {
+	run := func(workers int) string {
+		w := buildTiny(t)
+		latent := w.LatentSessions(w.RandomSessions(Tiny.Sessions), netmodel.QualityRTT)
+		if len(latent) < 4 {
+			t.Skip("too few latent sessions in tiny world")
+		}
+		if len(latent) > 20 {
+			latent = latent[:20]
+		}
+		c := RunComparison(comparisonMethods(t, w), latent, w.Profile.Seed, workers)
+		return formatAll(c)
+	}
+
+	golden := run(1)
+	for _, workers := range []int{2, 3, 8, 64} {
+		if got := run(workers); got != golden {
+			t.Fatalf("workers=%d output diverged from serial run:\n--- serial ---\n%s\n--- workers=%d ---\n%s",
+				workers, golden, workers, got)
+		}
+	}
+}
+
+// TestRoutingStudyParallelMatchesSerial checks the RNG-free sweeps the
+// same way: the two fan-out phases must assemble identical series for
+// any worker count.
+func TestRoutingStudyParallelMatchesSerial(t *testing.T) {
+	w := buildTiny(t)
+	sessions := w.RandomSessions(400)
+	golden := RunRoutingStudy(w, sessions, 80, netmodel.QualityRTT, 0, 1)
+	gold := golden.FormatFig2a() + golden.FormatFig2b() + golden.FormatFig3a() +
+		golden.FormatFig3b(netmodel.QualityRTT)
+	for _, workers := range []int{2, 8} {
+		st := RunRoutingStudy(w, sessions, 80, netmodel.QualityRTT, 0, workers)
+		got := st.FormatFig2a() + st.FormatFig2b() + st.FormatFig3a() +
+			st.FormatFig3b(netmodel.QualityRTT)
+		if got != gold {
+			t.Fatalf("workers=%d routing study diverged from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				workers, gold, got)
+		}
+	}
+}
+
+// TestComparisonRepeatable pins the seed contract itself: two runs with
+// the same seed agree, a different seed moves the noisy measurements.
+func TestComparisonRepeatable(t *testing.T) {
+	w := buildTiny(t)
+	latent := w.LatentSessions(w.RandomSessions(Tiny.Sessions), netmodel.QualityRTT)
+	if len(latent) < 4 {
+		t.Skip("too few latent sessions in tiny world")
+	}
+	if len(latent) > 10 {
+		latent = latent[:10]
+	}
+	methods := comparisonMethods(t, w)
+	a := formatAll(RunComparison(methods, latent, 7, 4))
+	b := formatAll(RunComparison(methods, latent, 7, 4))
+	if a != b {
+		t.Fatal("same seed produced different comparisons")
+	}
+	c := formatAll(RunComparison(methods, latent, 8, 4))
+	if a == c {
+		t.Fatal("different seeds produced identical noisy measurements")
+	}
+}

@@ -70,7 +70,7 @@ func TestLatentSessionFractionCalibration(t *testing.T) {
 func TestRoutingStudyShapes(t *testing.T) {
 	w := buildTiny(t)
 	sessions := w.RandomSessions(300)
-	st := RunRoutingStudy(w, sessions, 60, netmodel.QualityRTT, 0)
+	st := RunRoutingStudy(w, sessions, 60, netmodel.QualityRTT, 0, 0)
 	if len(st.DirectMs) < 250 {
 		t.Fatalf("only %d direct measurements", len(st.DirectMs))
 	}
@@ -127,7 +127,7 @@ func TestComparisonEndToEnd(t *testing.T) {
 		NewASAPMethod(sys, w.Engine),
 		NewOPTMethod(w.Engine),
 	}
-	c := RunComparison(methods, latent)
+	c := RunComparison(methods, latent, Tiny.Seed, 0)
 	if len(c.Order) != 5 {
 		t.Fatalf("ran %d methods", len(c.Order))
 	}
@@ -171,7 +171,7 @@ func TestASAPOverheadBounded(t *testing.T) {
 	sessions := w.RandomSessions(30)
 	am := NewASAPMethod(sys, w.Engine)
 	for _, s := range sessions {
-		o, err := am.Run(s)
+		o, err := am.Run(s, nil)
 		if err != nil {
 			continue
 		}
@@ -205,7 +205,7 @@ func TestScalabilityRun(t *testing.T) {
 			NewBaselineMethod(r, world.Engine),
 			NewBaselineMethod(m, world.Engine),
 			NewASAPMethod(sys, world.Engine),
-		}, sessions)
+		}, sessions, world.Profile.Seed, 0)
 	}
 	base := run(w, 10)
 	scaled := run(big, 10)

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"asap/internal/sim"
 	"asap/internal/stats"
 )
 
@@ -37,8 +38,25 @@ type RoutingStudy struct {
 // latentCap latent sessions (Figs. 2(b), 3(a), 3(b); latentCap <= 0
 // means all). The full-population one-hop sweep is quadratic, hence the
 // bounds for the scatter figures at paper scale.
-func RunRoutingStudy(w *World, sessions []Session, pairSample int, threshold time.Duration, latentCap int) *RoutingStudy {
+//
+// Both measurement sweeps are pure ground-truth lookups (no RNG), so
+// they fan out over a pool of `workers` goroutines (< 1 = all CPUs)
+// into index-addressed slots; the series are then assembled serially in
+// session order, making the result identical for every worker count.
+func RunRoutingStudy(w *World, sessions []Session, pairSample int, threshold time.Duration, latentCap, workers int) *RoutingStudy {
 	st := &RoutingStudy{}
+	type direct struct {
+		rtt time.Duration
+		ok  bool
+	}
+	directs := make([]direct, len(sessions))
+	forEachIndexed(workers, len(sessions), func(i int) {
+		d, ok := w.DirectRTT(sessions[i])
+		directs[i] = direct{d, ok}
+	})
+
+	// Serial phase: latent selection and pair sampling depend on the
+	// running latent count, so they walk the sessions in order.
 	type pair struct {
 		s      Session
 		direct time.Duration
@@ -46,33 +64,45 @@ func RunRoutingStudy(w *World, sessions []Session, pairSample int, threshold tim
 	var pairs []pair
 	latentTaken := 0
 	for i, s := range sessions {
-		direct, ok := w.DirectRTT(s)
-		if !ok {
+		d := directs[i]
+		if !d.ok {
 			continue
 		}
-		st.DirectMs = append(st.DirectMs, ms(direct))
-		latent := direct > threshold && (latentCap <= 0 || latentTaken < latentCap)
+		st.DirectMs = append(st.DirectMs, ms(d.rtt))
+		latent := d.rtt > threshold && (latentCap <= 0 || latentTaken < latentCap)
 		if latent {
 			latentTaken++
 		}
 		if i < pairSample || latent {
-			pairs = append(pairs, pair{s, direct})
+			pairs = append(pairs, pair{s, d.rtt})
 		}
 	}
-	for _, p := range pairs {
-		opt, ok := w.Engine.OptimalOneHop(p.s.A, p.s.B)
-		if !ok {
+
+	type opt struct {
+		rtt time.Duration
+		ok  bool
+	}
+	opts := make([]opt, len(pairs))
+	forEachIndexed(workers, len(pairs), func(i int) {
+		o, ok := w.Engine.OptimalOneHop(pairs[i].s.A, pairs[i].s.B)
+		if ok {
+			opts[i] = opt{o.RTT, true}
+		}
+	})
+	for i, p := range pairs {
+		o := opts[i]
+		if !o.ok {
 			continue
 		}
 		st.PairDirectMs = append(st.PairDirectMs, ms(p.direct))
-		st.PairOptMs = append(st.PairOptMs, ms(opt.RTT))
-		if opt.RTT < p.direct {
+		st.PairOptMs = append(st.PairOptMs, ms(o.rtt))
+		if o.rtt < p.direct {
 			st.ReductionRates = append(st.ReductionRates,
-				float64(p.direct-opt.RTT)/float64(p.direct))
+				float64(p.direct-o.rtt)/float64(p.direct))
 		}
 		if p.direct > threshold {
 			st.LatentDirectMs = append(st.LatentDirectMs, ms(p.direct))
-			st.LatentOptMs = append(st.LatentOptMs, ms(opt.RTT))
+			st.LatentOptMs = append(st.LatentOptMs, ms(o.rtt))
 		}
 	}
 	return st
@@ -163,20 +193,38 @@ type Comparison struct {
 // RunComparison runs every method on every session. A method error on a
 // session (e.g. an endpoint cluster lost its surrogate) skips that
 // session for that method.
-func RunComparison(methods []Method, sessions []Session) *Comparison {
+//
+// Sessions are scored on a pool of `workers` goroutines (< 1 = all
+// CPUs). Every (method, session-index) run gets its own RNG sub-seeded
+// as SubSeed(seed, StringLabel(method), index), so no run observes any
+// other run's draws and the outcome slices are bit-for-bit identical
+// for every worker count — including workers == 1.
+func RunComparison(methods []Method, sessions []Session, seed int64, workers int) *Comparison {
 	c := &Comparison{
 		Sessions: sessions,
 		Outcomes: make(map[string][]Outcome, len(methods)),
 	}
 	for _, m := range methods {
 		c.Order = append(c.Order, m.Name())
-		outs := make([]Outcome, 0, len(sessions))
-		for _, s := range sessions {
-			o, err := m.Run(s)
+		label := sim.StringLabel(m.Name())
+		type slot struct {
+			o  Outcome
+			ok bool
+		}
+		slots := make([]slot, len(sessions))
+		forEachIndexed(workers, len(sessions), func(i int) {
+			rng := sim.NewRNG(sim.SubSeed(seed, label, uint64(i)))
+			o, err := m.Run(sessions[i], rng)
 			if err != nil {
-				continue
+				return
 			}
-			outs = append(outs, o)
+			slots[i] = slot{o, true}
+		})
+		outs := make([]Outcome, 0, len(sessions))
+		for _, s := range slots {
+			if s.ok {
+				outs = append(outs, s.o)
+			}
 		}
 		c.Outcomes[m.Name()] = outs
 	}

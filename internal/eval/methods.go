@@ -9,6 +9,7 @@ import (
 	"asap/internal/core"
 	"asap/internal/netmodel"
 	"asap/internal/overlay"
+	"asap/internal/sim"
 )
 
 // EvalLossRate is the fixed per-path loss rate of the MOS evaluation
@@ -36,10 +37,13 @@ type Outcome struct {
 const noPath = time.Duration(1<<62 - 1)
 
 // Method runs a relay selection on a session and scores it against
-// ground truth.
+// ground truth. A non-nil rng gives the run a private randomness stream
+// (typically sub-seeded per (method, session) pair) so sessions can be
+// scored concurrently and still reproduce the serial output bit for
+// bit; nil falls back to the method's shared streams.
 type Method interface {
 	Name() string
-	Run(s Session) (Outcome, error)
+	Run(s Session, rng *sim.RNG) (Outcome, error)
 }
 
 // baselineMethod scores a baseline selector: every probed candidate is a
@@ -57,8 +61,8 @@ func NewBaselineMethod(sel baseline.Selector, eng *overlay.Engine) Method {
 
 func (m *baselineMethod) Name() string { return m.sel.Name() }
 
-func (m *baselineMethod) Run(s Session) (Outcome, error) {
-	res, err := m.sel.Select(s.A, s.B)
+func (m *baselineMethod) Run(s Session, rng *sim.RNG) (Outcome, error) {
+	res, err := m.sel.Select(s.A, s.B, rng)
 	if err != nil {
 		return Outcome{}, fmt.Errorf("eval: %s: %w", m.sel.Name(), err)
 	}
@@ -99,8 +103,12 @@ func NewASAPMethod(sys *core.System, eng *overlay.Engine) Method {
 
 func (m *asapMethod) Name() string { return "ASAP" }
 
-func (m *asapMethod) Run(s Session) (Outcome, error) {
-	sel, err := m.sys.SelectCloseRelay(s.A, s.B)
+func (m *asapMethod) Run(s Session, rng *sim.RNG) (Outcome, error) {
+	var prober *netmodel.Prober
+	if rng != nil {
+		prober = m.sys.Prober().WithRNG(rng)
+	}
+	sel, err := m.sys.SelectCloseRelayWith(s.A, s.B, prober)
 	if err != nil {
 		return Outcome{}, fmt.Errorf("eval: ASAP: %w", err)
 	}
@@ -153,7 +161,8 @@ func NewOPTMethod(eng *overlay.Engine) Method {
 
 func (m *optMethod) Name() string { return "OPT" }
 
-func (m *optMethod) Run(s Session) (Outcome, error) {
+// Run ignores rng: OPT is a ground-truth sweep with no randomness.
+func (m *optMethod) Run(s Session, _ *sim.RNG) (Outcome, error) {
 	out := Outcome{Method: "OPT", ShortestRTT: noPath}
 	if p, ok := m.eng.Optimal(s.A, s.B, m.cfg); ok {
 		out.ShortestRTT = p.RTT

@@ -26,7 +26,7 @@ func readCSV(t *testing.T, path string) [][]string {
 
 func TestRoutingStudyWriteCSV(t *testing.T) {
 	w := buildTiny(t)
-	st := RunRoutingStudy(w, w.RandomSessions(150), 40, netmodel.QualityRTT, 0)
+	st := RunRoutingStudy(w, w.RandomSessions(150), 40, netmodel.QualityRTT, 0, 0)
 	dir := t.TempDir()
 	if err := st.WriteCSV(dir); err != nil {
 		t.Fatal(err)
@@ -58,7 +58,7 @@ func TestComparisonWriteCSV(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := RunComparison([]Method{NewASAPMethod(sys, w.Engine)}, latent)
+	c := RunComparison([]Method{NewASAPMethod(sys, w.Engine)}, latent, Tiny.Seed, 0)
 	dir := t.TempDir()
 	if err := c.WriteCSV(dir); err != nil {
 		t.Fatal(err)

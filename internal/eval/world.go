@@ -231,9 +231,12 @@ func (w *World) CalibrateK(sessions []Session, threshold time.Duration, frac flo
 	return k
 }
 
-// NewASAP builds an ASAP system over the world with the given parameters.
+// NewASAP builds an ASAP system over the world with the given
+// parameters. The system is seeded from the profile, so its close-set
+// probe streams are deterministic per cluster and independent of the
+// order (or concurrency) in which the evaluation builds them.
 func (w *World) NewASAP(params core.Params) (*core.System, error) {
-	return core.NewSystem(w.Model, w.Prober, params)
+	return core.NewSystemSeeded(w.Model, w.Prober, params, w.Profile.Seed)
 }
 
 // NewBaselines builds the paper's three baselines with its probe budgets

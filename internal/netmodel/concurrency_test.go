@@ -1,0 +1,172 @@
+package netmodel
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"asap/internal/asgraph"
+	"asap/internal/cluster"
+	"asap/internal/sim"
+)
+
+// TestModelConcurrentLookups hammers the sharded cluster-pair cache from
+// many goroutines while cache-dropping mutations interleave: misses, hits,
+// SetCondition and ResetConditions all race. Run under -race this proves
+// the striped locking; the final pass proves the cache converges back to
+// ground truth after the churn stops.
+func TestModelConcurrentLookups(t *testing.T) {
+	m, rng := testModel(t, 250, 2000, 77, DefaultConfig())
+	pop := m.Population()
+
+	// Pre-pick host pairs and a transit AS to impair so goroutines don't
+	// share the test RNG.
+	type pair struct{ a, b cluster.HostID }
+	pairs := make([]pair, 128)
+	for i := range pairs {
+		pairs[i] = pair{
+			a: cluster.HostID(rng.Intn(pop.NumHosts())),
+			b: cluster.HostID(rng.Intn(pop.NumHosts())),
+		}
+	}
+	var victim asgraph.ASN
+	for _, asn := range m.Graph().ASNs() {
+		if m.Graph().Node(asn).Tier != asgraph.TierStub {
+			victim = asn
+			break
+		}
+	}
+
+	const readers = 4
+	var wg sync.WaitGroup
+
+	// Mutator: flip a condition on and off, and periodically reset, so
+	// readers see miss, hit and cache-drop interleavings. Bounded (not
+	// loop-until-stopped) so the test stays fast on single-core runners.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 90; i++ {
+			switch i % 3 {
+			case 0:
+				m.SetCondition(victim, Condition{ExtraOneWay: 50 * time.Millisecond, LossRate: 0.01})
+			case 1:
+				m.SetCondition(victim, Condition{})
+			case 2:
+				m.ResetConditions()
+			}
+			runtime.Gosched()
+		}
+	}()
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for rep := 0; rep < 5; rep++ {
+				for _, p := range pairs {
+					if _, ok := m.HostRTT(p.a, p.b); !ok {
+						continue
+					}
+					m.HostLoss(p.a, p.b)
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	// After churn: cached answers must equal a fresh computation.
+	m.ResetConditions()
+	for _, p := range pairs[:64] {
+		r1, ok1 := m.HostRTT(p.a, p.b)
+		r2, ok2 := m.HostRTT(p.a, p.b)
+		if ok1 != ok2 || r1 != r2 {
+			t.Fatalf("cache diverged for %d-%d: %v,%v vs %v,%v", p.a, p.b, r1, ok1, r2, ok2)
+		}
+	}
+}
+
+// TestProberConcurrentCallers checks that one Prober and its WithCounters
+// views can be driven from many goroutines (the close-set construction
+// fans out this way), and that message accounting stays exact.
+func TestProberConcurrentCallers(t *testing.T) {
+	m, rng := testModel(t, 200, 1500, 78, DefaultConfig())
+	pop := m.Population()
+	p, err := NewProber(m, DefaultProberConfig(), rng.Split(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	const probesPer = 400
+	var wg sync.WaitGroup
+	ctrs := make([]*sim.Counters, workers)
+	for w := 0; w < workers; w++ {
+		ctrs[w] = sim.NewCounters()
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Half the workers share the prober's stream via WithCounters;
+			// the other half use private sub-seeded streams via WithRNG.
+			pw := p.WithCounters(ctrs[w])
+			if w%2 == 1 {
+				pw = pw.WithRNG(sim.NewRNG(sim.SubSeed(42, uint64(w))))
+			}
+			for i := 0; i < probesPer; i++ {
+				a := cluster.HostID((w*probesPer + i) % pop.NumHosts())
+				b := cluster.HostID((w + i*7) % pop.NumHosts())
+				pw.HostRTT(a, b)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for w, ctr := range ctrs {
+		want := int64(probesPer) * p.MessagesPerProbe
+		if got := ctr.Get("probe.host_rtt"); got != want {
+			t.Fatalf("worker %d: probe accounting = %d, want %d", w, got, want)
+		}
+	}
+}
+
+// TestProberWithRNGDeterministic verifies that identical sub-seeded
+// streams yield identical noisy measurements regardless of what other
+// probers drew in between — the property the parallel eval harness
+// depends on.
+func TestProberWithRNGDeterministic(t *testing.T) {
+	m, rng := testModel(t, 200, 1500, 79, DefaultConfig())
+	pop := m.Population()
+	p, err := NewProber(m, DefaultProberConfig(), rng.Split(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	measure := func(seed int64) []time.Duration {
+		pw := p.WithRNG(sim.NewRNG(seed))
+		out := make([]time.Duration, 0, 64)
+		for i := 0; i < 64; i++ {
+			a := cluster.HostID(i % pop.NumHosts())
+			b := cluster.HostID((i * 13) % pop.NumHosts())
+			r, ok := pw.HostRTT(a, b)
+			if !ok {
+				r = -1
+			}
+			out = append(out, r)
+		}
+		return out
+	}
+
+	first := measure(sim.SubSeed(7, 3))
+	// Perturb the shared stream in between; the sub-seeded stream must not
+	// be affected.
+	for i := 0; i < 100; i++ {
+		p.HostRTT(cluster.HostID(i%pop.NumHosts()), cluster.HostID((i*3)%pop.NumHosts()))
+	}
+	second := measure(sim.SubSeed(7, 3))
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("sub-seeded measurement %d diverged: %v vs %v", i, first[i], second[i])
+		}
+	}
+}

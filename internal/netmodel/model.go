@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"asap/internal/asgraph"
@@ -110,20 +111,41 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Model is the omniscient ground-truth network. It is safe for concurrent
-// readers after New returns.
+// cacheShards stripes the cluster-pair RTT cache so concurrent lookups
+// from many goroutines contend on independent locks. 64 shards keeps
+// contention negligible at GOMAXPROCS-scale worker pools while the
+// fixed-size array stays cheap to allocate per Model.
+const cacheShards = 64
+
+// rttShard is one stripe of the cluster-pair cache.
+type rttShard struct {
+	mu sync.RWMutex
+	m  map[uint64]pathStats
+}
+
+// Model is the omniscient ground-truth network. All methods are safe for
+// concurrent use: the cluster-pair cache is striped across cacheShards
+// locks, and the mutable condition map has its own RWMutex.
+//
+// Lock ordering: condMu before any shard mutex. Readers never hold both;
+// SetCondition/ResetConditions take condMu then drop each shard in turn.
 type Model struct {
 	cfg    Config
 	g      *asgraph.Graph
 	router *asgraph.Router
 	pop    *cluster.Population
 
+	condMu     sync.RWMutex
 	conditions map[asgraph.ASN]Condition
+	// condGen increments on every condition mutation; cache fills started
+	// under an older generation are discarded instead of stored, so a
+	// concurrent SetCondition can never leave a stale entry behind.
+	condGen atomic.Uint64
+
 	// tivSeed randomizes the deterministic per-link circuitousness hash.
 	tivSeed uint64
 
-	mu  sync.Mutex
-	rtt map[uint64]pathStats // cluster-pair cache
+	shards [cacheShards]rttShard // cluster-pair cache
 }
 
 type pathStats struct {
@@ -131,6 +153,28 @@ type pathStats struct {
 	loss float64
 	hops int
 	ok   bool
+}
+
+func (m *Model) shard(key uint64) *rttShard {
+	return &m.shards[(key^key>>32)%cacheShards]
+}
+
+func (m *Model) initShards() {
+	for i := range m.shards {
+		m.shards[i].m = make(map[uint64]pathStats)
+	}
+}
+
+// dropCacheLocked empties every shard. Callers must hold condMu (write)
+// and must have bumped condGen first, so in-flight fills observe the new
+// generation and discard their results.
+func (m *Model) dropCacheLocked() {
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		sh.m = make(map[uint64]pathStats)
+		sh.mu.Unlock()
+	}
 }
 
 // New builds a Model over the world, injecting congestion per cfg using
@@ -146,8 +190,8 @@ func New(g *asgraph.Graph, router *asgraph.Router, pop *cluster.Population, cfg 
 		pop:        pop,
 		conditions: make(map[asgraph.ASN]Condition),
 		tivSeed:    uint64(rng.Int63()),
-		rtt:        make(map[uint64]pathStats),
 	}
+	m.initShards()
 	// Impairments land on transit infrastructure that paths can route
 	// around (Fig. 4's congested AS H), never on an AS that is some
 	// stub's only uplink: congestion there is unbypassable by any relay,
@@ -211,8 +255,8 @@ func New(g *asgraph.Graph, router *asgraph.Router, pop *cluster.Population, cfg 
 // holding the network fixed. The cluster-pair cache starts empty (cluster
 // IDs belong to the population).
 func (m *Model) WithPopulation(pop *cluster.Population) *Model {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.condMu.RLock()
+	defer m.condMu.RUnlock()
 	cp := &Model{
 		cfg:        m.cfg,
 		g:          m.g,
@@ -220,8 +264,8 @@ func (m *Model) WithPopulation(pop *cluster.Population) *Model {
 		pop:        pop,
 		conditions: make(map[asgraph.ASN]Condition, len(m.conditions)),
 		tivSeed:    m.tivSeed,
-		rtt:        make(map[uint64]pathStats),
 	}
+	cp.initShards()
 	for k, v := range m.conditions {
 		cp.conditions[k] = v
 	}
@@ -231,29 +275,43 @@ func (m *Model) WithPopulation(pop *cluster.Population) *Model {
 // SetCondition injects or replaces an impairment on an AS (used by tests
 // and the churn example). Passing a zero Condition clears it.
 func (m *Model) SetCondition(asn asgraph.ASN, c Condition) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.condMu.Lock()
+	defer m.condMu.Unlock()
 	if c == (Condition{}) {
 		delete(m.conditions, asn)
 	} else {
 		m.conditions[asn] = c
 	}
-	// Conditions affect cached paths; drop the cache.
-	m.rtt = make(map[uint64]pathStats)
+	// Conditions affect cached paths; invalidate in-flight fills, then
+	// drop the cache.
+	m.condGen.Add(1)
+	m.dropCacheLocked()
+}
+
+// ResetConditions removes every injected impairment and drops the
+// cluster-pair cache, returning the model to its post-New baseline minus
+// the randomly injected congestion. Used by tests that interleave cache
+// drops with concurrent lookups.
+func (m *Model) ResetConditions() {
+	m.condMu.Lock()
+	defer m.condMu.Unlock()
+	m.conditions = make(map[asgraph.ASN]Condition)
+	m.condGen.Add(1)
+	m.dropCacheLocked()
 }
 
 // Condition returns the impairment on asn, if any.
 func (m *Model) Condition(asn asgraph.ASN) (Condition, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.condMu.RLock()
+	defer m.condMu.RUnlock()
 	c, ok := m.conditions[asn]
 	return c, ok
 }
 
 // CongestedASes returns every AS with an injected impairment.
 func (m *Model) CongestedASes() []asgraph.ASN {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.condMu.RLock()
+	defer m.condMu.RUnlock()
 	out := make([]asgraph.ASN, 0, len(m.conditions))
 	for asn := range m.conditions {
 		out = append(out, asn)
@@ -338,27 +396,41 @@ func pairKey(a, b cluster.ClusterID) uint64 {
 // negligible next to inter-cluster latency).
 func (m *Model) clusterPath(c1, c2 cluster.ClusterID) pathStats {
 	key := pairKey(c1, c2)
-	m.mu.Lock()
-	if st, ok := m.rtt[key]; ok {
-		m.mu.Unlock()
+	sh := m.shard(key)
+	sh.mu.RLock()
+	st, ok := sh.m[key]
+	sh.mu.RUnlock()
+	if ok {
 		return st
 	}
-	m.mu.Unlock()
 
+	// Compute outside any shard lock; concurrent misses for the same pair
+	// duplicate work but arrive at identical values (asPath is a pure
+	// function of the route tables and the condition map).
+	gen := m.condGen.Load()
 	a := m.pop.Cluster(c1).AS
 	b := m.pop.Cluster(c2).AS
-	st := m.asPath(a, b)
+	st = m.asPath(a, b)
 
-	m.mu.Lock()
-	m.rtt[key] = st
-	m.mu.Unlock()
+	sh.mu.Lock()
+	// Store only if no condition mutation raced with the fill: SetCondition
+	// bumps condGen before it empties the shards, so a matching generation
+	// here proves the value is still current.
+	if m.condGen.Load() == gen {
+		sh.m[key] = st
+	}
+	sh.mu.Unlock()
 	return st
 }
 
 // asPath computes path stats between two ASes. The table is always keyed
 // on the smaller ASN: forward and reverse policy paths can legitimately
 // differ, and RTT ground truth must not depend on router-cache state.
+// It holds condMu for reading so the condition map is observed as one
+// consistent snapshot across the whole path walk.
 func (m *Model) asPath(a, b asgraph.ASN) pathStats {
+	m.condMu.RLock()
+	defer m.condMu.RUnlock()
 	if a == b {
 		oneWay := m.cfg.IntraASOneWay
 		var loss float64

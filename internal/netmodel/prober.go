@@ -2,17 +2,45 @@ package netmodel
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"asap/internal/cluster"
 	"asap/internal/sim"
 )
 
+// proberRNG serializes draws from one sim.RNG stream so a Prober (and all
+// its WithCounters views, which share the stream) is safe for concurrent
+// callers. Concurrent callers still interleave nondeterministically on a
+// shared stream; callers that need reproducible parallel measurements
+// derive a private stream per unit of work with WithRNG.
+type proberRNG struct {
+	mu  sync.Mutex
+	rng *sim.RNG
+}
+
+func (p *proberRNG) Bool(prob float64) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rng.Bool(prob)
+}
+
+func (p *proberRNG) Normal(mean, stddev float64) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rng.Normal(mean, stddev)
+}
+
 // Prober is the measurement interface protocol actors are allowed to use.
 // It models the paper's tooling: King for host-pair RTT estimation
 // (DNS-based, noisy, with non-responses) and ping for loss sampling. Every
 // measurement increments message counters, which the evaluation charges to
 // the selection method (Figure 18).
+//
+// A Prober is safe for concurrent callers: counters are internally
+// synchronized and noise draws are serialized on the underlying stream.
+// For deterministic parallel measurement, derive per-work-unit probers
+// with WithRNG.
 type Prober struct {
 	m *Model
 	// NoiseFrac is the relative RTT measurement error (King reports ~10%
@@ -25,7 +53,7 @@ type Prober struct {
 	// (a King estimate costs a pair of recursive DNS queries).
 	MessagesPerProbe int64
 
-	rng      *sim.RNG
+	rng      *proberRNG
 	counters *sim.Counters
 }
 
@@ -65,7 +93,7 @@ func NewProber(m *Model, cfg ProberConfig, rng *sim.RNG, counters *sim.Counters)
 		NoiseFrac:        cfg.NoiseFrac,
 		ResponseProb:     cfg.ResponseProb,
 		MessagesPerProbe: cfg.MessagesPerProbe,
-		rng:              rng,
+		rng:              &proberRNG{rng: rng},
 		counters:         counters,
 	}, nil
 }
@@ -82,6 +110,16 @@ func (p *Prober) WithCounters(ctr *sim.Counters) *Prober {
 	}
 	cp := *p
 	cp.counters = ctr
+	return &cp
+}
+
+// WithRNG returns a prober sharing this one's model, noise model and
+// counters but drawing noise from a private stream seeded by rng. Parallel
+// workers give each unit of work its own sub-seeded stream (sim.SubSeed)
+// so measurement noise is independent of scheduling order.
+func (p *Prober) WithRNG(rng *sim.RNG) *Prober {
+	cp := *p
+	cp.rng = &proberRNG{rng: rng}
 	return &cp
 }
 

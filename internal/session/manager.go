@@ -170,10 +170,12 @@ func WithFlowOpener(fn func(relay, callee transport.Addr) (uint64, error)) Optio
 
 // Manager tracks a node's open sessions and drives their monitor loops.
 //
-// Locking: one mutex guards all session state. Driver calls are made
-// with the lock held — probes on a live transport serialize across
-// sessions, which is the deliberate trade for a state machine that is
-// trivially deterministic under the sim clock.
+// Locking: one mutex guards all session state, but driver I/O happens
+// outside it. Each probe tick snapshots the paths to measure under the
+// lock, releases it while the per-session probes run concurrently, and
+// reacquires it to commit the measurements in session-ID order — so a
+// slow probe on one call never blocks another call's monitoring, and
+// the commit order stays deterministic under the sim clock.
 type Manager struct {
 	cfg      Config
 	clk      Clock
@@ -327,51 +329,123 @@ func pathName(relay transport.Addr) string {
 
 // --- Quality monitor loop ---
 
+// pathProbe is one planned path measurement and, after the probe phase,
+// its result.
+type pathProbe struct {
+	cand Candidate
+	rtt  time.Duration
+	loss float64
+	err  error
+}
+
+// probePlan is one session's snapshot of paths to measure this tick:
+// paths[0] is the active path, the rest are the top backups.
+type probePlan struct {
+	id     uint64
+	callee transport.Addr
+	paths  []pathProbe
+}
+
+// probeTick runs one monitor round in three phases: snapshot the paths
+// to probe under the lock, run every session's driver probes outside it
+// (concurrently across sessions), then commit the measurements under
+// the lock in session-ID order.
 func (m *Manager) probeTick() {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
 		return
 	}
+	plans := make([]*probePlan, 0, len(m.sessions))
 	for _, s := range m.sortedLocked() {
 		if s.state == StateClosed {
 			continue
 		}
-		m.probeSessionLocked(s)
+		p := &probePlan{id: s.id, callee: s.callee}
+		p.paths = append(p.paths, pathProbe{cand: s.active})
+		limit := m.cfg.Backups
+		if limit > len(s.backups) {
+			limit = len(s.backups)
+		}
+		for i := 0; i < limit; i++ {
+			p.paths = append(p.paths, pathProbe{cand: s.backups[i]})
+		}
+		plans = append(plans, p)
 	}
 	m.mu.Unlock()
+
+	switch len(plans) {
+	case 0:
+	case 1:
+		m.runPlan(plans[0])
+	default:
+		var wg sync.WaitGroup
+		for _, p := range plans {
+			wg.Add(1)
+			go func(p *probePlan) {
+				defer wg.Done()
+				m.runPlan(p)
+			}(p)
+		}
+		wg.Wait()
+	}
+
+	m.mu.Lock()
+	if !m.closed {
+		now := m.clk.Now()
+		for _, p := range plans { // already in session-ID order
+			if s, ok := m.sessions[p.id]; ok && s.state != StateClosed {
+				m.commitProbesLocked(s, p, now)
+			}
+		}
+	}
+	closed := m.closed
+	m.mu.Unlock()
+	if closed {
+		return
+	}
 	m.clk.After(m.cfg.ProbeInterval, m.probeTick)
 }
 
-// probeSessionLocked runs one monitor tick for one session: probe the
-// active path and the top backups, score everything through the E-Model,
-// update hysteresis streaks, and switch when a backup has qualified for
-// SwitchConsecutive straight ticks.
-func (m *Manager) probeSessionLocked(s *Session) {
-	activeMOS, activeOK := m.probeOneLocked(s, s.active)
+// runPlan performs one session's driver probes, in path order. Called
+// without the manager lock: a session's probes within the plan stay
+// sequential, but different sessions' plans run concurrently.
+func (m *Manager) runPlan(p *probePlan) {
+	for i := range p.paths {
+		pp := &p.paths[i]
+		pp.rtt, pp.loss, pp.err = m.drv.ProbePath(pp.cand.Relay, p.callee)
+	}
+}
+
+// commitProbesLocked applies one session's measured tick: score every
+// path through the E-Model, update hysteresis streaks, and switch when
+// a backup has qualified for SwitchConsecutive straight ticks.
+func (m *Manager) commitProbesLocked(s *Session, p *probePlan, now time.Duration) {
+	if s.active.Relay != p.paths[0].cand.Relay {
+		// The active path changed while the probes were in flight (e.g. a
+		// keepalive-retry failover): the measurements describe a path set
+		// that no longer exists, so drop them rather than mis-attribute.
+		return
+	}
+	activeMOS, activeOK := m.scoreProbeLocked(s, p.paths[0], now)
 	s.activeMOS = activeMOS
 	s.mosSum += activeMOS
 	s.mosN++
 
-	type scored struct {
-		idx int
-		mos float64
-	}
-	best := scored{idx: -1}
-	limit := m.cfg.Backups
-	if limit > len(s.backups) {
-		limit = len(s.backups)
-	}
-	for i := 0; i < limit; i++ {
-		b := s.backups[i]
-		mos, ok := m.probeOneLocked(s, b)
-		if ok && mos >= activeMOS+m.cfg.SwitchMargin {
-			s.streak[b.Relay]++
-		} else {
-			s.streak[b.Relay] = 0
+	bestIdx, bestMOS := -1, 0.0
+	for _, pp := range p.paths[1:] {
+		idx := backupIndexLocked(s, pp.cand.Relay)
+		if idx < 0 {
+			continue // no longer a backup; discard the measurement
 		}
-		if s.streak[b.Relay] >= m.cfg.SwitchConsecutive && (best.idx < 0 || mos > best.mos) {
-			best = scored{idx: i, mos: mos}
+		mos, ok := m.scoreProbeLocked(s, pp, now)
+		if ok && mos >= activeMOS+m.cfg.SwitchMargin {
+			s.streak[pp.cand.Relay]++
+		} else {
+			s.streak[pp.cand.Relay] = 0
+		}
+		if s.streak[pp.cand.Relay] >= m.cfg.SwitchConsecutive && (bestIdx < 0 || mos > bestMOS) {
+			bestIdx, bestMOS = idx, mos
 		}
 	}
 
@@ -382,27 +456,37 @@ func (m *Manager) probeSessionLocked(s *Session) {
 		}
 	}
 
-	if best.idx >= 0 {
-		m.switchToLocked(s, best.idx, true)
+	if bestIdx >= 0 {
+		m.switchToLocked(s, bestIdx, true)
 	}
 }
 
-// probeOneLocked measures one path and records its MOS; a failed probe
-// scores the MOS floor so backups immediately outrank a dead active path
-// (final authority on death stays with the keepalive machinery).
-func (m *Manager) probeOneLocked(s *Session, c Candidate) (float64, bool) {
-	rtt, loss, err := m.drv.ProbePath(c.Relay, s.callee)
-	sample := Sample{At: m.clk.Now(), Relay: c.Relay}
-	if err != nil {
+// backupIndexLocked finds a relay's current position in the backup list.
+func backupIndexLocked(s *Session, relay transport.Addr) int {
+	for i, b := range s.backups {
+		if b.Relay == relay {
+			return i
+		}
+	}
+	return -1
+}
+
+// scoreProbeLocked records one measured path probe and its MOS; a failed
+// probe scores the MOS floor so backups immediately outrank a dead
+// active path (final authority on death stays with the keepalive
+// machinery).
+func (m *Manager) scoreProbeLocked(s *Session, pp pathProbe, now time.Duration) (float64, bool) {
+	sample := Sample{At: now, Relay: pp.cand.Relay}
+	if pp.err != nil {
 		sample.MOS = 1
 		m.recordLocked(s, sample)
-		s.lastMOS[c.Relay] = 1
+		s.lastMOS[pp.cand.Relay] = 1
 		return 1, false
 	}
-	mos := m.mosOf(rtt, loss)
-	sample.RTT, sample.Loss, sample.MOS, sample.OK = rtt, loss, mos, true
+	mos := m.mosOf(pp.rtt, pp.loss)
+	sample.RTT, sample.Loss, sample.MOS, sample.OK = pp.rtt, pp.loss, mos, true
 	m.recordLocked(s, sample)
-	s.lastMOS[c.Relay] = mos
+	s.lastMOS[pp.cand.Relay] = mos
 	return mos, true
 }
 
@@ -457,30 +541,86 @@ func (m *Manager) switchToLocked(s *Session, idx int, quality bool) {
 
 // --- Keepalive / failure detection ---
 
+// kaPlan is one session's keepalive target snapshot and, after the I/O
+// phase, its verdict.
+type kaPlan struct {
+	id     uint64
+	target transport.Addr
+	flowID uint64
+	err    error
+}
+
+// kaPlanLocked snapshots the session's current keepalive target: the
+// active relay's flow, or plain callee liveness on a direct path.
+func (m *Manager) kaPlanLocked(s *Session) *kaPlan {
+	target, flowID := s.active.Relay, s.flowID
+	if target == "" {
+		target = s.callee
+		flowID = 0
+	}
+	return &kaPlan{id: s.id, target: target, flowID: flowID}
+}
+
+// keepaliveTick mirrors probeTick's snapshot-I/O-commit shape: targets
+// are snapshotted under the lock, the driver keepalives run outside it
+// (concurrently across sessions), and the verdicts are committed in
+// session-ID order.
 func (m *Manager) keepaliveTick() {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
 		return
 	}
+	plans := make([]*kaPlan, 0, len(m.sessions))
 	for _, s := range m.sortedLocked() {
 		if s.state == StateClosed || s.retryPending {
 			continue
 		}
-		m.checkKeepaliveLocked(s)
+		plans = append(plans, m.kaPlanLocked(s))
 	}
 	m.mu.Unlock()
+
+	switch len(plans) {
+	case 0:
+	case 1:
+		plans[0].err = m.drv.Keepalive(plans[0].target, plans[0].flowID)
+	default:
+		var wg sync.WaitGroup
+		for _, p := range plans {
+			wg.Add(1)
+			go func(p *kaPlan) {
+				defer wg.Done()
+				p.err = m.drv.Keepalive(p.target, p.flowID)
+			}(p)
+		}
+		wg.Wait()
+	}
+
+	m.mu.Lock()
+	if !m.closed {
+		for _, p := range plans {
+			if s, ok := m.sessions[p.id]; ok && s.state != StateClosed && !s.retryPending {
+				m.commitKeepaliveLocked(s, p)
+			}
+		}
+	}
+	closed := m.closed
+	m.mu.Unlock()
+	if closed {
+		return
+	}
 	m.clk.After(m.cfg.KeepaliveInterval, m.keepaliveTick)
 }
 
-func (m *Manager) checkKeepaliveLocked(s *Session) {
-	target := s.active.Relay
-	flowID := s.flowID
-	if target == "" {
-		target = s.callee
-		flowID = 0
+// commitKeepaliveLocked applies one keepalive verdict to the session
+// state machine.
+func (m *Manager) commitKeepaliveLocked(s *Session, p *kaPlan) {
+	if cur := m.kaPlanLocked(s); cur.target != p.target || cur.flowID != p.flowID {
+		// The path changed while the keepalive was in flight: the verdict
+		// concerns a target the session no longer depends on.
+		return
 	}
-	if err := m.drv.Keepalive(target, flowID); err == nil {
+	if p.err == nil {
 		s.kaMisses = 0
 		if s.state == StateFailed {
 			// The declared-dead path answered again (e.g. the callee of a
@@ -510,18 +650,35 @@ func (m *Manager) checkKeepaliveLocked(s *Session) {
 	m.clk.After(delay, func() { m.retryKeepalive(id) })
 }
 
+// retryKeepalive is the backoff re-check: snapshot the target, do the
+// driver call outside the lock, commit the verdict.
 func (m *Manager) retryKeepalive(id uint64) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	s, ok := m.sessions[id]
 	if !ok || m.closed {
+		m.mu.Unlock()
 		return
 	}
 	s.retryPending = false
 	if s.state == StateClosed {
+		m.mu.Unlock()
 		return
 	}
-	m.checkKeepaliveLocked(s)
+	p := m.kaPlanLocked(s)
+	m.mu.Unlock()
+
+	p.err = m.drv.Keepalive(p.target, p.flowID)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	s, ok = m.sessions[id]
+	if !ok || s.state == StateClosed || s.retryPending {
+		return
+	}
+	m.commitKeepaliveLocked(s, p)
 }
 
 // failActiveLocked declares the active relay dead and fails over to the

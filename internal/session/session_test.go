@@ -3,6 +3,7 @@ package session
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -11,6 +12,8 @@ import (
 )
 
 // scriptDriver is a deterministic Driver scripted against virtual time.
+// The manager probes different sessions concurrently, so the counters
+// are mutex-guarded.
 type scriptDriver struct {
 	clk *sim.Clock
 	// probe returns the ground truth of a path at a virtual instant.
@@ -18,6 +21,7 @@ type scriptDriver struct {
 	// deadFrom marks relays unreachable (keepalive + probe) from a time.
 	deadFrom map[transport.Addr]time.Duration
 
+	mu         sync.Mutex
 	probes     int
 	keepalives int
 }
@@ -27,8 +31,16 @@ func (d *scriptDriver) isDead(target transport.Addr) bool {
 	return ok && d.clk.Now() >= t
 }
 
+func (d *scriptDriver) probeCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.probes
+}
+
 func (d *scriptDriver) ProbePath(relay, callee transport.Addr) (time.Duration, float64, error) {
+	d.mu.Lock()
 	d.probes++
+	d.mu.Unlock()
 	if d.isDead(relay) {
 		return 0, 0, errors.New("probe: relay unreachable")
 	}
@@ -36,7 +48,9 @@ func (d *scriptDriver) ProbePath(relay, callee transport.Addr) (time.Duration, f
 }
 
 func (d *scriptDriver) Keepalive(target transport.Addr, flowID uint64) error {
+	d.mu.Lock()
 	d.keepalives++
+	d.mu.Unlock()
 	if d.isDead(target) {
 		return errors.New("keepalive: unreachable")
 	}
@@ -408,10 +422,10 @@ func TestCloseReports(t *testing.T) {
 		}
 	}
 	// The loops must stop after Close: no further driver activity.
-	probes := drv.probes
+	probes := drv.probeCount()
 	clk.RunUntil(30 * time.Second)
-	if drv.probes != probes {
-		t.Errorf("probes continued after Close: %d -> %d", probes, drv.probes)
+	if got := drv.probeCount(); got != probes {
+		t.Errorf("probes continued after Close: %d -> %d", probes, got)
 	}
 	if _, err := m.Open("dave", Candidate{Relay: "r0"}, nil, 3); err == nil {
 		t.Error("Open after Close must fail")
@@ -468,4 +482,65 @@ func TestHistoryBounded(t *testing.T) {
 	if h := s.History(); len(h) != 5 {
 		t.Errorf("history length = %d, want bounded at 5", len(h))
 	}
+}
+
+// rendezvousDriver proves cross-session probe concurrency: every
+// ProbePath blocks until `need` probes are in flight at once, then all
+// of them return. If the manager serialized probe I/O (the pre-refactor
+// behavior, with driver calls made under the state lock), the first
+// probe would wait forever and the rendezvous would never complete.
+type rendezvousDriver struct {
+	need     int
+	mu       sync.Mutex
+	inFlight int
+	reached  chan struct{}
+	once     sync.Once
+}
+
+func (d *rendezvousDriver) ProbePath(relay, callee transport.Addr) (time.Duration, float64, error) {
+	d.mu.Lock()
+	d.inFlight++
+	if d.inFlight >= d.need {
+		d.once.Do(func() { close(d.reached) })
+	}
+	d.mu.Unlock()
+	select {
+	case <-d.reached:
+	case <-time.After(3 * time.Second):
+		return 0, 0, errors.New("rendezvous timed out: probes are serialized")
+	}
+	d.mu.Lock()
+	d.inFlight--
+	d.mu.Unlock()
+	return 100 * time.Millisecond, 0, nil
+}
+
+func (d *rendezvousDriver) Keepalive(target transport.Addr, flowID uint64) error { return nil }
+
+// TestProbesConcurrentAcrossSessionsWallClock is the regression test for
+// the snapshot-probe-commit refactor: under a real clock, two open
+// sessions must have their path probes in flight simultaneously.
+func TestProbesConcurrentAcrossSessionsWallClock(t *testing.T) {
+	cfg := testConfig()
+	cfg.ProbeInterval = 20 * time.Millisecond
+	cfg.KeepaliveInterval = time.Hour // keep keepalive traffic out of the way
+	cfg.Backups = 0                   // exactly one probe per session per tick
+	drv := &rendezvousDriver{need: 2, reached: make(chan struct{})}
+	m, err := NewManager(cfg, NewWallClock(), drv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Open("bob", Candidate{Relay: "r0", Est: 100 * time.Millisecond}, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Open("carol", Candidate{Relay: "r1", Est: 100 * time.Millisecond}, nil, 2); err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	select {
+	case <-drv.reached:
+	case <-time.After(5 * time.Second):
+		t.Fatal("two sessions' probes never overlapped: probe I/O is serialized across sessions")
+	}
+	m.Close()
 }

@@ -1,0 +1,46 @@
+package sim
+
+// Sub-seed derivation for deterministic parallelism.
+//
+// Parallel experiment loops cannot share one RNG stream: the interleaving of
+// draws would depend on goroutine scheduling. Instead each unit of work
+// (a session, a cluster, a method) derives its own seed from the experiment
+// root seed and a stable label path. The derivation is a pure function, so
+// the same (root, labels...) always yields the same stream regardless of
+// which worker runs it or in what order — parallel results stay bit-for-bit
+// identical to serial ones.
+
+// splitmix64 is the finalizer from the SplitMix64 generator; it mixes a
+// 64-bit state into a well-distributed output.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// SubSeed derives an independent seed from root and a label path. Labels
+// are folded in order, so SubSeed(s, a, b) differs from SubSeed(s, b, a)
+// and from SubSeed(s, a). The result is non-negative so it can feed NewRNG
+// directly.
+func SubSeed(root int64, labels ...uint64) int64 {
+	h := splitmix64(uint64(root))
+	for _, l := range labels {
+		h = splitmix64(h ^ l)
+	}
+	return int64(h >> 1) // clear the sign bit
+}
+
+// StringLabel hashes a string into a label usable with SubSeed (FNV-1a).
+func StringLabel(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}

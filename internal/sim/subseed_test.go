@@ -1,0 +1,53 @@
+package sim
+
+import "testing"
+
+func TestSubSeedDeterministic(t *testing.T) {
+	a := SubSeed(1, 7, 11)
+	b := SubSeed(1, 7, 11)
+	if a != b {
+		t.Fatalf("SubSeed not deterministic: %d vs %d", a, b)
+	}
+	if a < 0 {
+		t.Fatalf("SubSeed returned negative seed %d", a)
+	}
+}
+
+func TestSubSeedLabelOrderMatters(t *testing.T) {
+	if SubSeed(1, 7, 11) == SubSeed(1, 11, 7) {
+		t.Fatal("SubSeed should depend on label order")
+	}
+	if SubSeed(1, 7) == SubSeed(1, 7, 0) {
+		t.Fatal("SubSeed should distinguish label-path length")
+	}
+	if SubSeed(1, 7) == SubSeed(2, 7) {
+		t.Fatal("SubSeed should depend on root")
+	}
+}
+
+func TestSubSeedStreamsIndependent(t *testing.T) {
+	// Neighboring sub-seeds must produce visibly different streams.
+	r1 := NewRNG(SubSeed(1, 0))
+	r2 := NewRNG(SubSeed(1, 1))
+	same := 0
+	for i := 0; i < 32; i++ {
+		if r1.Int63() == r2.Int63() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("adjacent sub-seed streams collided %d/32 times", same)
+	}
+}
+
+func TestStringLabelStable(t *testing.T) {
+	if StringLabel("asap") != StringLabel("asap") {
+		t.Fatal("StringLabel not deterministic")
+	}
+	if StringLabel("asap") == StringLabel("ASAP") {
+		t.Fatal("StringLabel should be case sensitive")
+	}
+	if StringLabel("") == StringLabel("a") {
+		t.Fatal("StringLabel should distinguish empty string")
+	}
+}
