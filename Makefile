@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet staticcheck bench bench-parallel profile chaos check
+.PHONY: build test race vet staticcheck bench bench-parallel bench-virtualtime timecheck test-experiments profile chaos check
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,34 @@ bench:
 bench-parallel:
 	$(GO) test -run '^$$' -bench 'ComparisonSerial|ComparisonParallel|RoutingStudySerial|RoutingStudyParallel' -benchtime 5x -count 3 .
 
+# bench-virtualtime measures the wall-clock cost of the churn and
+# stabilization experiments under the injected virtual clock (one
+# iteration = one full two-arm experiment). Before the scheduler
+# refactor the churn experiment alone slept ~8 s of real time; the
+# tracked numbers live in results/BENCH_virtualtime.md.
+bench-virtualtime:
+	$(GO) test -run '^$$' -bench 'ChurnVirtualTime|StabilizationVirtualTime' -benchtime 5x -count 3 .
+
+# timecheck enforces the time model (DESIGN.md §10): production code
+# under internal/ must take time from an injected sim.Scheduler, never
+# from the time package directly. internal/sim/wall.go is the single
+# allowed exception (it IS the wall adapter); _test.go files may sleep
+# for real because wall-mode regression tests need actual concurrency.
+timecheck:
+	@bad=$$(grep -rn --include='*.go' -E 'time\.(Sleep|AfterFunc|NewTimer|NewTicker)\(' internal/ \
+		| grep -v '_test.go' | grep -v '^internal/sim/wall.go:'); \
+	if [ -n "$$bad" ]; then \
+		echo "timecheck: direct time-package scheduling in internal/ (use sim.Scheduler):"; \
+		echo "$$bad"; exit 1; \
+	fi; \
+	echo "timecheck: internal/ takes time only from sim.Scheduler"
+
+# test-experiments runs the virtual-time experiment suite with a tight
+# timeout: everything in internal/eval runs on the simulated clock, so
+# a wall-clock stall is a determinism bug, not a slow test.
+test-experiments:
+	$(GO) test -race -count=1 -timeout 60s ./internal/eval/
+
 # profile regenerates the small-profile comparison figures with CPU and
 # heap profiling enabled; inspect with `go tool pprof cpu.prof`.
 profile:
@@ -44,5 +72,6 @@ chaos:
 	$(GO) test -race -run 'TestChaosSoak' -count=1 -v ./internal/core/
 
 # check is the CI gate: everything must build, vet and staticcheck clean,
-# and pass the full test suite under the race detector.
-check: build vet staticcheck race
+# honor the time model, and pass the full test suite under the race
+# detector.
+check: build vet staticcheck timecheck race

@@ -595,3 +595,41 @@ func BenchmarkRoutingStudySerial(b *testing.B) { benchRoutingStudyWorkers(b, 1) 
 
 // BenchmarkRoutingStudyParallel runs the routing study on all CPUs.
 func BenchmarkRoutingStudyParallel(b *testing.B) { benchRoutingStudyWorkers(b, 0) }
+
+// BenchmarkChurnVirtualTime runs the full two-arm churn experiment —
+// five live nodes, a bootstrap outage, a surrogate kill and 40 calls
+// per arm — entirely on the virtual clock. One iteration covers tens
+// of seconds of protocol time; ns/op IS the wall-clock cost the
+// `bench-virtualtime` target tracks (results/BENCH_virtualtime.md).
+func BenchmarkChurnVirtualTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := eval.RunChurn(eval.DefaultChurnConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Lease.Completed == 0 {
+			b.Fatal("churn arm completed no calls")
+		}
+	}
+}
+
+// BenchmarkStabilizationVirtualTime runs both stabilization arms (a
+// 60 s session horizon each) under the virtual clock; see
+// BenchmarkChurnVirtualTime for how the number is used.
+func BenchmarkStabilizationVirtualTime(b *testing.B) {
+	paths := []eval.PathGround{
+		{Relay: "r0", RTT: 110 * time.Millisecond, Loss: 0.005},
+		{Relay: "r1", RTT: 140 * time.Millisecond, Loss: 0.005},
+		{Relay: "r2", RTT: 320 * time.Millisecond, Loss: 0.03},
+		{Relay: "r3", RTT: 380 * time.Millisecond, Loss: 0.04},
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := eval.RunStabilization(eval.DefaultStabilizationConfig(paths))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.ASAP.DetectAfter < 0 {
+			b.Fatal("stabilization arm never detected the failure")
+		}
+	}
+}

@@ -55,6 +55,7 @@ import (
 	"asap/internal/asgraph"
 	"asap/internal/core"
 	"asap/internal/session"
+	"asap/internal/sim"
 	"asap/internal/transport"
 )
 
@@ -272,7 +273,7 @@ func runMonitoredCall(node *core.Node, callee transport.Addr, choice *core.Relay
 		}
 		flowID = id
 	}
-	mgr, err := session.NewManager(cfg, session.NewWallClock(), node,
+	mgr, err := session.NewManager(cfg, sim.NewWall(), node,
 		session.WithFlowOpener(node.EnsureFlow),
 		session.WithReselect(func(callee transport.Addr) ([]session.Candidate, error) {
 			// Backups exhausted: re-run select-close-relay live.

@@ -8,6 +8,7 @@ import (
 
 	"asap/internal/asgraph"
 	"asap/internal/bgp"
+	"asap/internal/sim"
 	"asap/internal/transport"
 )
 
@@ -52,6 +53,9 @@ type BootstrapConfig struct {
 	// where a dead surrogate is handed out forever (the churn experiment's
 	// baseline arm).
 	LeaseTTL time.Duration
+	// Sched is the bootstrap's time source for lease expiry. Nil means
+	// real time.
+	Sched sim.Scheduler
 }
 
 // PrefixOrigin is one prefix-to-origin-AS row.
@@ -61,10 +65,12 @@ type PrefixOrigin struct {
 }
 
 // surrogateLease is one cluster's registration: who serves it and until
-// when. A zero expiry never expires (leases disabled).
+// when (a scheduler offset). A zero expiry never expires (leases
+// disabled; scheduler time starts positive only after the first tick, so
+// zero is free as a sentinel — TTL > 0 always yields expires > 0).
 type surrogateLease struct {
 	addr    transport.Addr
-	expires time.Time
+	expires time.Duration
 }
 
 // Bootstrap is the dedicated always-on server actor.
@@ -73,6 +79,7 @@ type Bootstrap struct {
 	trie  bgp.Trie
 	tr    transport.Transport
 	addr  transport.Addr
+	sched sim.Scheduler
 	mu    sync.Mutex
 	surro map[string]surrogateLease // cluster key -> surrogate lease
 	byAS  map[asgraph.ASN][]string  // AS -> cluster keys
@@ -93,6 +100,7 @@ func NewBootstrap(tr transport.Transport, addr transport.Addr, cfg BootstrapConf
 	b := &Bootstrap{
 		cfg:   cfg,
 		tr:    tr,
+		sched: cfg.Sched,
 		surro: make(map[string]surrogateLease),
 		byAS:  make(map[asgraph.ASN][]string),
 		known: make(map[string]asgraph.ASN),
@@ -106,6 +114,9 @@ func NewBootstrap(tr transport.Transport, addr transport.Addr, cfg BootstrapConf
 		key := p.String()
 		b.known[key] = po.ASN
 		b.byAS[po.ASN] = append(b.byAS[po.ASN], key)
+	}
+	if b.sched == nil {
+		b.sched = wallSched
 	}
 	bound, err := tr.Serve(addr, b.handle)
 	if err != nil {
@@ -125,7 +136,7 @@ func (b *Bootstrap) liveSurrogateLocked(key string) (transport.Addr, bool) {
 	if !ok || l.addr == "" {
 		return "", false
 	}
-	if !l.expires.IsZero() && time.Now().After(l.expires) {
+	if l.expires != 0 && b.sched.Now() > l.expires {
 		return "", false
 	}
 	return l.addr, true
@@ -148,9 +159,9 @@ func (b *Bootstrap) registerSurrogate(req *transport.Message, reply transport.Ms
 			Type: reply, SurrogateAddr: cur, LeaseTTL: b.cfg.LeaseTTL,
 		}, nil
 	}
-	var exp time.Time
+	var exp time.Duration
 	if b.cfg.LeaseTTL > 0 {
-		exp = time.Now().Add(b.cfg.LeaseTTL)
+		exp = b.sched.Now() + b.cfg.LeaseTTL
 	}
 	b.surro[req.ClusterKey] = surrogateLease{addr: req.SurrogateAddr, expires: exp}
 	return &transport.Message{

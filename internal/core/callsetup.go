@@ -49,7 +49,7 @@ type RelayChoice struct {
 // only an unreachable callee fails the setup.
 func (n *Node) SetupCall(callee transport.Addr) (*RelayChoice, error) {
 	var direct time.Duration
-	err := n.retry.Do(n.ctx, func() error {
+	err := n.retry.Do(n.ctx, n.sched, n.jitter, func() error {
 		d, err := n.Ping(callee)
 		if err != nil {
 			return err

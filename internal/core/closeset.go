@@ -14,9 +14,11 @@ import (
 // Fig. 9, by live pinging) and answers members' close-set fetches; members
 // fall back to re-election when their surrogate stops answering.
 
-// Ping measures the RTT to another node over the transport.
+// Ping measures the RTT to another node over the transport. Timestamps
+// come from the node's scheduler, so the measurement is virtual-time
+// exact in simulation.
 func (n *Node) Ping(to transport.Addr) (time.Duration, error) {
-	start := time.Now()
+	start := n.sched.Now()
 	resp, err := n.tr.Call(to, &transport.Message{
 		Type: transport.MsgPing, From: n.addr, SentAt: start,
 	})
@@ -26,33 +28,40 @@ func (n *Node) Ping(to transport.Addr) (time.Duration, error) {
 	if resp.Type != transport.MsgPong {
 		return 0, fmt.Errorf("core: unexpected ping reply type %d", resp.Type)
 	}
-	return time.Since(start), nil
+	return n.sched.Now() - start, nil
 }
 
 // pingWithTimeout bounds a close-set probe ping so one stalled surrogate
-// cannot stall the whole rebuild.
+// cannot stall the whole rebuild. The ping runs as its own scheduler
+// task; the caller waits for first-of(result, deadline) on a Waiter —
+// under the virtual clock the winner is decided by event order, not by a
+// racing wall timer.
 func (n *Node) pingWithTimeout(to transport.Addr) (time.Duration, error) {
 	timeout := n.cfg.PingTimeout
 	if timeout <= 0 {
 		timeout = 2 * n.cfg.Params.LatT
 	}
-	type result struct {
+	var (
+		mu  sync.Mutex
 		rtt time.Duration
 		err error
-	}
-	ch := make(chan result, 1)
-	go func() {
-		rtt, err := n.Ping(to)
-		ch <- result{rtt, err}
-	}()
-	t := time.NewTimer(timeout)
-	defer t.Stop()
-	select {
-	case r := <-ch:
-		return r.rtt, r.err
-	case <-t.C:
+	)
+	w := n.sched.NewWaiter()
+	n.sched.Go(func() {
+		r, e := n.Ping(to)
+		mu.Lock()
+		rtt, err = r, e
+		mu.Unlock()
+		w.Wake()
+	})
+	if !w.Wait(timeout) {
+		// The stalled ping task is abandoned; it resolves into a dead
+		// Waiter whenever the transport finally answers.
 		return 0, fmt.Errorf("core: ping %s: %w", to, context.DeadlineExceeded)
 	}
+	mu.Lock()
+	defer mu.Unlock()
+	return rtt, err
 }
 
 // RefreshCloseSet rebuilds the close cluster set by asking the bootstrap
@@ -85,21 +94,17 @@ func (n *Node) RefreshCloseSet() error {
 	}
 	rtts := make([]time.Duration, len(cands))
 	oks := make([]bool, len(cands))
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
+	probes := make([]func(), len(cands))
 	for i := range cands {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
+		i := i
+		probes[i] = func() {
 			rtt, err := n.pingWithTimeout(cands[i].SurrogateAddr)
 			if err == nil && rtt < n.cfg.Params.LatT {
 				rtts[i], oks[i] = rtt, true
 			}
-		}(i)
+		}
 	}
-	wg.Wait()
+	n.sched.Join(workers, probes...)
 	var set []transport.CloseEntry
 	for i, e := range cands {
 		if oks[i] {

@@ -7,8 +7,13 @@ import (
 	"time"
 
 	"asap/internal/asgraph"
+	"asap/internal/sim"
 	"asap/internal/transport"
 )
+
+// wallSched is the shared real-time scheduler for actors built without an
+// explicit one.
+var wallSched = sim.NewWall()
 
 // Member role: the Node actor's identity, lifecycle and cluster-membership
 // duties — joining via the bootstrap, publishing nodal info, volunteering
@@ -32,6 +37,13 @@ type NodeConfig struct {
 	PingTimeout time.Duration
 	// PingWorkers bounds the close-set probe worker pool (0 = 8).
 	PingWorkers int
+	// Sched is the node's time source: a *sim.Clock in simulation, the
+	// wall adapter in the live daemon. Nil means real time.
+	Sched sim.Scheduler
+	// Seed roots the node's derived randomness (retry jitter); with the
+	// virtual clock it makes the node's whole timing behaviour a pure
+	// function of the seed.
+	Seed int64
 }
 
 // Node is a peer actor: always an end host, and surrogate of its cluster
@@ -41,12 +53,21 @@ type Node struct {
 	tr     transport.Transport
 	addr   transport.Addr
 	retry  RetryPolicy
+	sched  sim.Scheduler
 	ctx    context.Context
 	cancel context.CancelFunc
-	wg     sync.WaitGroup
+
+	// jitterRNG is the node's seeded retry-jitter stream (sim.SubSeed of
+	// cfg.Seed and the bound address); the mutex covers wall-mode
+	// concurrent retries.
+	jitterMu  sync.Mutex
+	jitterRNG *sim.RNG
 
 	mu         sync.Mutex
 	closed     bool
+	bg         int        // in-flight background tasks (renewal ticks, re-elections)
+	closeW     sim.Waiter // armed by Close to wait for bg to drain
+	renewTimer sim.Timer  // pending lease-renewal tick
 	asn        asgraph.ASN
 	clusterKey string
 	surrogate  transport.Addr // my cluster's surrogate (may be self)
@@ -79,11 +100,12 @@ type flowKey struct {
 	callee transport.Addr
 }
 
-// QualityReport is a peer's listener-side view of an ongoing call.
+// QualityReport is a peer's listener-side view of an ongoing call. At is
+// the receive time as an offset on this node's scheduler.
 type QualityReport struct {
 	RTT  time.Duration
 	Loss float64
-	At   time.Time
+	At   time.Duration
 }
 
 // NewNode builds and serves a peer on addr, then joins via the bootstrap
@@ -98,11 +120,15 @@ func NewNode(tr transport.Transport, addr transport.Addr, cfg NodeConfig) (*Node
 		cfg:      cfg,
 		tr:       tr,
 		retry:    cfg.Retry.withDefaults(),
+		sched:    cfg.Sched,
 		members:  make(map[transport.Addr]transport.NodalInfo),
 		flows:    make(map[uint64]transport.Addr),
 		received: make(map[transport.Addr]int),
 		outFlows: make(map[flowKey]uint64),
 		quality:  make(map[transport.Addr]QualityReport),
+	}
+	if n.sched == nil {
+		n.sched = wallSched
 	}
 	n.ctx, n.cancel = context.WithCancel(context.Background())
 	bound, err := tr.Serve(addr, n.handle)
@@ -110,6 +136,10 @@ func NewNode(tr transport.Transport, addr transport.Addr, cfg NodeConfig) (*Node
 		return nil, err
 	}
 	n.addr = bound
+	// The jitter stream is derived from the configured seed and the bound
+	// address, so every node retries on its own reproducible schedule.
+	n.jitterRNG = sim.NewRNG(sim.SubSeed(cfg.Seed,
+		sim.StringLabel("retry-jitter"), sim.StringLabel(string(bound))))
 
 	// Join (with backoff — a bootstrap missing one beat must not abort).
 	resp, err := n.retryCall(cfg.Bootstrap, &transport.Message{
@@ -171,7 +201,9 @@ func (n *Node) Surrogate() transport.Addr {
 
 // Close stops the node's background loops (lease renewal, pending
 // re-elections) and cancels in-flight retries. The transport binding is
-// left to the transport's own Close.
+// left to the transport's own Close. Draining waits on a scheduler
+// Waiter rather than a raw WaitGroup, so under the virtual clock the
+// caller's task parks and the background tasks can actually finish.
 func (n *Node) Close() {
 	n.mu.Lock()
 	if n.closed {
@@ -179,16 +211,60 @@ func (n *Node) Close() {
 		return
 	}
 	n.closed = true
+	if n.renewTimer != nil {
+		n.renewTimer.Stop()
+		n.renewTimer = nil
+	}
+	var w sim.Waiter
+	if n.bg > 0 {
+		w = n.sched.NewWaiter()
+		n.closeW = w
+	}
 	n.mu.Unlock()
 	n.cancel()
-	n.wg.Wait()
+	if w != nil {
+		w.Wait(-1)
+	}
+}
+
+// bgStart registers a background task unless the node is closed; bgDone
+// retires it and releases a pending Close once the last one drains.
+func (n *Node) bgStart() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return false
+	}
+	n.bg++
+	return true
+}
+
+func (n *Node) bgDone() {
+	n.mu.Lock()
+	n.bg--
+	var w sim.Waiter
+	if n.closed && n.bg == 0 {
+		w = n.closeW
+		n.closeW = nil
+	}
+	n.mu.Unlock()
+	if w != nil {
+		w.Wake()
+	}
+}
+
+// jitter draws from the node's seeded retry-jitter stream.
+func (n *Node) jitter() float64 {
+	n.jitterMu.Lock()
+	defer n.jitterMu.Unlock()
+	return n.jitterRNG.Float64()
 }
 
 // retryCall performs one control-plane request under the node's retry
 // policy. Only transport-level failures are retried.
 func (n *Node) retryCall(to transport.Addr, req *transport.Message) (*transport.Message, error) {
 	var resp *transport.Message
-	err := n.retry.Do(n.ctx, func() error {
+	err := n.retry.Do(n.ctx, n.sched, n.jitter, func() error {
 		r, err := n.tr.Call(to, req)
 		if err != nil {
 			return err
@@ -250,8 +326,10 @@ func (n *Node) tryBecomeSurrogate() error {
 	return nil
 }
 
-// startRenewal launches the lease-renewal heartbeat loop (no-op when
-// leases are disabled or a loop is already running).
+// startRenewal starts the lease-renewal heartbeat (no-op when leases are
+// disabled or one is already running). Instead of a goroutine blocked on
+// a ticker, each tick is a scheduler task that re-arms itself — the shape
+// that runs identically on the virtual clock and the wall adapter.
 func (n *Node) startRenewal(ttl time.Duration) {
 	if ttl <= 0 {
 		return
@@ -262,54 +340,67 @@ func (n *Node) startRenewal(ttl time.Duration) {
 		return
 	}
 	n.renewing = true
-	n.wg.Add(1)
 	n.mu.Unlock()
 	interval := ttl / 3
 	if interval < 5*time.Millisecond {
 		interval = 5 * time.Millisecond
 	}
-	go func() {
-		defer n.wg.Done()
-		defer func() {
-			n.mu.Lock()
-			n.renewing = false
-			n.mu.Unlock()
-		}()
-		t := time.NewTicker(interval)
-		defer t.Stop()
-		for {
-			select {
-			case <-n.ctx.Done():
-				return
-			case <-t.C:
-			}
-			if !n.IsSurrogate() {
-				return
-			}
-			n.mu.Lock()
-			key := n.clusterKey
-			n.mu.Unlock()
-			resp, err := n.retryCall(n.cfg.Bootstrap, &transport.Message{
-				Type: transport.MsgSurrogateHeartbeat, From: n.addr,
-				ClusterKey: key, SurrogateAddr: n.addr,
-			})
-			if err != nil {
-				// Bootstrap outage: keep serving and retry next tick — the
-				// heartbeat re-acquires the lease once the bootstrap heals.
-				continue
-			}
-			if resp.SurrogateAddr != "" && resp.SurrogateAddr != n.addr {
-				// Lease lost to a live rival (e.g. it registered during our
-				// own outage): demote and follow it.
-				n.mu.Lock()
-				n.isSurro = false
-				n.surrogate = resp.SurrogateAddr
-				n.mu.Unlock()
-				_ = n.publishNodal()
-				return
-			}
-		}
-	}()
+	n.armRenew(interval)
+}
+
+// armRenew schedules the next renewal tick, unless the node closed.
+func (n *Node) armRenew(interval time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		n.renewing = false
+		return
+	}
+	n.renewTimer = n.sched.AfterFunc(interval, func() { n.renewTick(interval) })
+}
+
+// renewTick is one heartbeat: renew the lease, demote on a lost lease,
+// re-arm otherwise.
+func (n *Node) renewTick(interval time.Duration) {
+	stop := func() {
+		n.mu.Lock()
+		n.renewing = false
+		n.mu.Unlock()
+	}
+	if !n.bgStart() {
+		stop()
+		return
+	}
+	defer n.bgDone()
+	if n.ctx.Err() != nil || !n.IsSurrogate() {
+		stop()
+		return
+	}
+	n.mu.Lock()
+	key := n.clusterKey
+	n.mu.Unlock()
+	resp, err := n.retryCall(n.cfg.Bootstrap, &transport.Message{
+		Type: transport.MsgSurrogateHeartbeat, From: n.addr,
+		ClusterKey: key, SurrogateAddr: n.addr,
+	})
+	if err != nil {
+		// Bootstrap outage: keep serving and retry next tick — the
+		// heartbeat re-acquires the lease once the bootstrap heals.
+		n.armRenew(interval)
+		return
+	}
+	if resp.SurrogateAddr != "" && resp.SurrogateAddr != n.addr {
+		// Lease lost to a live rival (e.g. it registered during our own
+		// outage): demote and follow it.
+		n.mu.Lock()
+		n.isSurro = false
+		n.surrogate = resp.SurrogateAddr
+		n.mu.Unlock()
+		_ = n.publishNodal()
+		stop()
+		return
+	}
+	n.armRenew(interval)
 }
 
 // reelect re-runs the join to learn the bootstrap's current lease state
@@ -351,15 +442,15 @@ func (n *Node) asyncReelect() {
 		return
 	}
 	n.rejoining = true
-	n.wg.Add(1)
+	n.bg++
 	n.mu.Unlock()
-	go func() {
-		defer n.wg.Done()
+	n.sched.Go(func() {
+		defer n.bgDone()
 		_, _ = n.reelect()
 		n.mu.Lock()
 		n.rejoining = false
 		n.mu.Unlock()
-	}()
+	})
 }
 
 func (n *Node) handle(from transport.Addr, req *transport.Message) (*transport.Message, error) {
@@ -428,7 +519,7 @@ func (n *Node) handle(from transport.Addr, req *transport.Message) (*transport.M
 
 	case transport.MsgQualityReport:
 		n.mu.Lock()
-		n.quality[from] = QualityReport{RTT: req.RTT, Loss: req.Loss, At: time.Now()}
+		n.quality[from] = QualityReport{RTT: req.RTT, Loss: req.Loss, At: n.sched.Now()}
 		n.mu.Unlock()
 		return &transport.Message{Type: transport.MsgQualityReportAck, SessionID: req.SessionID}, nil
 

@@ -2,9 +2,9 @@ package core
 
 import (
 	"context"
-	"math/rand"
 	"time"
 
+	"asap/internal/sim"
 	"asap/internal/transport"
 )
 
@@ -66,8 +66,12 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 
 // Do runs op until it succeeds, fails non-transiently, exhausts the
 // attempt budget, or ctx is canceled during a backoff wait. It returns
-// op's last error (never swallowing it for a cancellation).
-func (p RetryPolicy) Do(ctx context.Context, op func() error) error {
+// op's last error (never swallowing it for a cancellation). Backoff
+// waits run on s, so the schedule costs nothing under a virtual clock.
+// jitter supplies the randomization in [0,1) — callers inject a seeded
+// per-node stream (see Node.jitter) so retry timing is reproducible;
+// nil disables jitter regardless of p.Jitter.
+func (p RetryPolicy) Do(ctx context.Context, s sim.Scheduler, jitter func() float64, op func() error) error {
 	p = p.withDefaults()
 	delay := p.BaseDelay
 	var err error
@@ -79,15 +83,11 @@ func (p RetryPolicy) Do(ctx context.Context, op func() error) error {
 			return err
 		}
 		d := delay
-		if p.Jitter > 0 {
-			d += time.Duration(p.Jitter * rand.Float64() * float64(delay))
+		if p.Jitter > 0 && jitter != nil {
+			d += time.Duration(p.Jitter * jitter() * float64(delay))
 		}
-		t := time.NewTimer(d)
-		select {
-		case <-ctx.Done():
-			t.Stop()
+		if s.SleepCtx(ctx, d) != nil {
 			return err
-		case <-t.C:
 		}
 		delay = time.Duration(float64(delay) * p.Multiplier)
 		if delay > p.MaxDelay {

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"asap/internal/sim"
 	"asap/internal/transport"
 )
 
@@ -21,7 +22,7 @@ func fastRetry(attempts int) RetryPolicy {
 
 func TestRetryTransientEventuallySucceeds(t *testing.T) {
 	calls := 0
-	err := fastRetry(4).Do(context.Background(), func() error {
+	err := fastRetry(4).Do(context.Background(), wallSched, nil, func() error {
 		calls++
 		if calls < 3 {
 			return fmt.Errorf("%w: x", transport.ErrUnreachable)
@@ -39,7 +40,7 @@ func TestRetryTransientEventuallySucceeds(t *testing.T) {
 func TestRetryNonTransientFailsImmediately(t *testing.T) {
 	calls := 0
 	boom := errors.New("handler rejected")
-	err := fastRetry(4).Do(context.Background(), func() error {
+	err := fastRetry(4).Do(context.Background(), wallSched, nil, func() error {
 		calls++
 		return boom
 	})
@@ -53,7 +54,7 @@ func TestRetryNonTransientFailsImmediately(t *testing.T) {
 
 func TestRetryExhaustsAttempts(t *testing.T) {
 	calls := 0
-	err := fastRetry(3).Do(context.Background(), func() error {
+	err := fastRetry(3).Do(context.Background(), wallSched, nil, func() error {
 		calls++
 		return fmt.Errorf("%w: down", transport.ErrUnreachable)
 	})
@@ -71,7 +72,7 @@ func TestRetryContextCancelStopsBackoff(t *testing.T) {
 	p := RetryPolicy{Attempts: 10, BaseDelay: time.Hour, MaxDelay: time.Hour, Multiplier: 2}
 	done := make(chan error, 1)
 	go func() {
-		done <- p.Do(ctx, func() error {
+		done <- p.Do(ctx, wallSched, nil, func() error {
 			calls++
 			return fmt.Errorf("%w: down", transport.ErrUnreachable)
 		})
@@ -103,7 +104,7 @@ func TestRetryZeroValueUsesDefaults(t *testing.T) {
 	// A zero-value policy must still terminate.
 	calls := 0
 	err := RetryPolicy{BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}.Do(
-		context.Background(), func() error {
+		context.Background(), wallSched, nil, func() error {
 			calls++
 			return fmt.Errorf("%w: down", transport.ErrUnreachable)
 		})
@@ -112,5 +113,41 @@ func TestRetryZeroValueUsesDefaults(t *testing.T) {
 	}
 	if calls != d.Attempts {
 		t.Fatalf("op ran %d times, want default Attempts=%d", calls, d.Attempts)
+	}
+}
+
+// TestRetryVirtualBackoffDeterministic: under the virtual clock, the full
+// jittered backoff schedule is a pure function of the RNG seed — same
+// seed, identical retry instants; different seed, different jitter.
+func TestRetryVirtualBackoffDeterministic(t *testing.T) {
+	schedule := func(seed int64) []time.Duration {
+		clk := sim.NewClock()
+		rng := sim.NewRNG(seed)
+		p := RetryPolicy{
+			Attempts: 4, BaseDelay: 50 * time.Millisecond,
+			MaxDelay: time.Second, Multiplier: 2, Jitter: 0.2,
+		}
+		var at []time.Duration
+		clk.RunTask(func() {
+			_ = p.Do(context.Background(), clk, rng.Float64, func() error {
+				at = append(at, clk.Now())
+				return fmt.Errorf("%w: down", transport.ErrUnreachable)
+			})
+		})
+		return at
+	}
+	a, b := schedule(42), schedule(42)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same seed, different schedules:\n%v\n%v", a, b)
+	}
+	if len(a) != 4 {
+		t.Fatalf("attempted %d times, want 4", len(a))
+	}
+	if a[1] < 50*time.Millisecond || a[1] > 60*time.Millisecond {
+		t.Errorf("first retry at %v, want base 50ms + up to 20%% jitter", a[1])
+	}
+	c := schedule(7)
+	if fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Error("different seeds produced identical jittered schedules")
 	}
 }

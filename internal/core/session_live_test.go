@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"asap/internal/session"
+	"asap/internal/sim"
 	"asap/internal/transport"
 )
 
@@ -256,7 +257,7 @@ func TestLiveSessionFailover(t *testing.T) {
 	cfg.KeepaliveMisses = 2
 	cfg.KeepaliveBackoff = 10 * time.Millisecond
 	cfg.Backups = 2
-	mgr, err := session.NewManager(cfg, session.NewWallClock(), h1,
+	mgr, err := session.NewManager(cfg, sim.NewWall(), h1,
 		session.WithFlowOpener(h1.EnsureFlow),
 		session.WithEventLog(func(e session.Event) {
 			evMu.Lock()
@@ -362,7 +363,7 @@ func TestLiveSessionKeepaliveSurvivesTransientError(t *testing.T) {
 	cfg.KeepaliveInterval = 25 * time.Millisecond
 	cfg.KeepaliveMisses = 3
 	cfg.KeepaliveBackoff = 15 * time.Millisecond
-	mgr, err := session.NewManager(cfg, session.NewWallClock(), h1, session.WithFlowOpener(h1.EnsureFlow))
+	mgr, err := session.NewManager(cfg, sim.NewWall(), h1, session.WithFlowOpener(h1.EnsureFlow))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -74,7 +74,7 @@ func (n *Node) SendVoice(choice *RelayChoice, callee transport.Addr, frames []by
 // leg uses MsgRelayProbe: the relay pings the callee before answering,
 // so the caller's wall-clock round trip covers caller->relay->callee.
 func (n *Node) ProbePath(relay, callee transport.Addr) (time.Duration, float64, error) {
-	start := time.Now()
+	start := n.sched.Now()
 	var err error
 	if relay == "" {
 		_, err = n.Ping(callee)
@@ -94,7 +94,7 @@ func (n *Node) ProbePath(relay, callee transport.Addr) (time.Duration, float64, 
 	if q, ok := n.PeerQuality(callee); ok {
 		loss = q.Loss
 	}
-	return time.Since(start), loss, nil
+	return n.sched.Now() - start, loss, nil
 }
 
 // Keepalive checks that target (the active relay, or the callee on a

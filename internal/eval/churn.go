@@ -6,6 +6,7 @@ import (
 
 	"asap/internal/asgraph"
 	"asap/internal/core"
+	"asap/internal/sim"
 	"asap/internal/transport"
 )
 
@@ -166,10 +167,17 @@ func RunChurn(cfg ChurnConfig) (ChurnResult, error) {
 	return ChurnResult{Lease: lease, NoLease: nolease}, nil
 }
 
+// runChurnArm runs one arm entirely on a virtual clock: the whole
+// deployment — transport latency, chaos windows, leases, retries,
+// renewal heartbeats and the call workload — shares one *sim.Clock, so
+// seconds of protocol time cost milliseconds of wall time and the arm's
+// measurements are byte-identical for a given seed.
 func runChurnArm(cfg ChurnConfig, ttl time.Duration, method string) (ChurnArm, error) {
 	arm := ChurnArm{Method: method, LeaseTTL: ttl, Calls: cfg.Calls}
 
+	clk := sim.NewClock()
 	mem := transport.NewMem()
+	mem.Sched = clk
 	defer func() { _ = mem.Close() }()
 	// One-way delays: the 100<->200 direct path is slow (RTT 56ms, above
 	// LatT 55ms); both are 2ms from the relay cluster (relay estimate
@@ -195,115 +203,133 @@ func runChurnArm(cfg ChurnConfig, ttl time.Duration, method string) (ChurnArm, e
 		}
 	}
 	chaos := transport.NewChaos(mem, cfg.Seed)
+	chaos.Sched = clk
 	chaos.DropDefault(cfg.Drop)
 
-	bs, err := core.NewBootstrap(chaos, "bs", core.BootstrapConfig{
-		Graph: churnGraph(),
-		K:     4,
-		Prefixes: []core.PrefixOrigin{
-			{Prefix: "10.100.0.0/16", ASN: 100},
-			{Prefix: "10.200.0.0/16", ASN: 200},
-			{Prefix: "10.30.0.0/16", ASN: 300},
-		},
-		LeaseTTL: ttl,
-	})
-	if err != nil {
-		return arm, err
-	}
-
-	params := core.DefaultParams()
-	params.LatT = 55 * time.Millisecond
-	var nodes []*core.Node
-	defer func() {
-		for _, n := range nodes {
-			n.Close()
-		}
-	}()
-	mk := func(addr transport.Addr, ip string) (*core.Node, error) {
-		n, err := core.NewNode(chaos, addr, core.NodeConfig{
-			IP: ip, Bootstrap: bs.Addr(), Params: params,
-			Retry: core.RetryPolicy{Attempts: 4, BaseDelay: 3 * time.Millisecond, MaxDelay: 25 * time.Millisecond, Multiplier: 2},
+	// The deployment and workload run as the clock's root task: node
+	// construction, retries, lease renewal and the call stream all block
+	// on virtual time only. RunTask returns when the workload ends,
+	// abandoning whatever background ticks are still scheduled.
+	var runErr error
+	clk.RunTask(func() {
+		bs, err := core.NewBootstrap(chaos, "bs", core.BootstrapConfig{
+			Graph: churnGraph(),
+			K:     4,
+			Prefixes: []core.PrefixOrigin{
+				{Prefix: "10.100.0.0/16", ASN: 100},
+				{Prefix: "10.200.0.0/16", ASN: 200},
+				{Prefix: "10.30.0.0/16", ASN: 300},
+			},
+			LeaseTTL: ttl,
+			Sched:    clk,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("eval: churn node %s: %w", addr, err)
+			runErr = err
+			return
 		}
-		nodes = append(nodes, n)
-		return n, nil
-	}
-	c0, err := mk("c0", "10.30.0.1") // relay cluster first so A/B see it
-	if err != nil {
-		return arm, err
-	}
-	a0, err := mk("a0", "10.100.0.1")
-	if err != nil {
-		return arm, err
-	}
-	a1, err := mk("a1", "10.100.0.2")
-	if err != nil {
-		return arm, err
-	}
-	b0, err := mk("b0", "10.200.0.1")
-	if err != nil {
-		return arm, err
-	}
-	b1, err := mk("b1", "10.200.0.2")
-	if err != nil {
-		return arm, err
-	}
-	for _, n := range []*core.Node{c0, a0, b0} {
-		if err := n.RefreshCloseSet(); err != nil {
-			return arm, fmt.Errorf("eval: churn refresh %s: %w", n.Addr(), err)
-		}
-	}
 
-	var killedAt time.Time
-	payload := []byte("churn-voice-frames")
-	for i := 0; i < cfg.Calls; i++ {
-		if i == cfg.OutageAfter {
-			chaos.OutageFor(bs.Addr(), cfg.BootstrapOutage)
+		params := core.DefaultParams()
+		params.LatT = 55 * time.Millisecond
+		var nodes []*core.Node
+		defer func() {
+			for _, n := range nodes {
+				n.Close()
+			}
+		}()
+		mk := func(addr transport.Addr, ip string) (*core.Node, error) {
+			n, err := core.NewNode(chaos, addr, core.NodeConfig{
+				IP: ip, Bootstrap: bs.Addr(), Params: params,
+				Retry: core.RetryPolicy{Attempts: 4, BaseDelay: 3 * time.Millisecond, MaxDelay: 25 * time.Millisecond, Multiplier: 2},
+				Sched: clk, Seed: cfg.Seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("eval: churn node %s: %w", addr, err)
+			}
+			nodes = append(nodes, n)
+			return n, nil
 		}
-		if i == cfg.KillAfter {
-			b0.Close()
-			mem.Unbind(b0.Addr())
-			killedAt = time.Now()
+		c0, err := mk("c0", "10.30.0.1") // relay cluster first so A/B see it
+		if err != nil {
+			runErr = err
+			return
 		}
-		choice, err := a1.SetupCall(b1.Addr())
-		if err == nil {
-			if err := a1.SendVoice(choice, b1.Addr(), payload, uint32(i)); err != nil {
-				// Voice path faulted mid-call: drop the dead relay flow and
-				// retry once on the direct path.
-				a1.DropFlow(choice.Relay, b1.Addr())
-				direct := &core.RelayChoice{Relay: ""}
-				if err := a1.SendVoice(direct, b1.Addr(), payload, uint32(i)); err == nil {
-					arm.Completed++
-					arm.Degraded++
-				}
-			} else {
-				arm.Completed++
-				switch {
-				case choice.Relay != "":
-					arm.Relayed++
-					if !killedAt.IsZero() {
-						arm.RelayedAfterKill++
-					}
-				case choice.Degraded:
-					arm.Degraded++
-				}
+		a0, err := mk("a0", "10.100.0.1")
+		if err != nil {
+			runErr = err
+			return
+		}
+		a1, err := mk("a1", "10.100.0.2")
+		if err != nil {
+			runErr = err
+			return
+		}
+		b0, err := mk("b0", "10.200.0.1")
+		if err != nil {
+			runErr = err
+			return
+		}
+		b1, err := mk("b1", "10.200.0.2")
+		if err != nil {
+			runErr = err
+			return
+		}
+		for _, n := range []*core.Node{c0, a0, b0} {
+			if err := n.RefreshCloseSet(); err != nil {
+				runErr = fmt.Errorf("eval: churn refresh %s: %w", n.Addr(), err)
+				return
 			}
 		}
-		if !killedAt.IsZero() && !arm.Reelected && b1.IsSurrogate() {
-			arm.Reelected = true
-			arm.ReelectLatency = time.Since(killedAt)
+
+		const notKilled = time.Duration(-1)
+		killedAt := notKilled
+		payload := []byte("churn-voice-frames")
+		for i := 0; i < cfg.Calls; i++ {
+			if i == cfg.OutageAfter {
+				chaos.OutageFor(bs.Addr(), cfg.BootstrapOutage)
+			}
+			if i == cfg.KillAfter {
+				b0.Close()
+				mem.Unbind(b0.Addr())
+				killedAt = clk.Now()
+			}
+			choice, err := a1.SetupCall(b1.Addr())
+			if err == nil {
+				if err := a1.SendVoice(choice, b1.Addr(), payload, uint32(i)); err != nil {
+					// Voice path faulted mid-call: drop the dead relay flow and
+					// retry once on the direct path.
+					a1.DropFlow(choice.Relay, b1.Addr())
+					direct := &core.RelayChoice{Relay: ""}
+					if err := a1.SendVoice(direct, b1.Addr(), payload, uint32(i)); err == nil {
+						arm.Completed++
+						arm.Degraded++
+					}
+				} else {
+					arm.Completed++
+					switch {
+					case choice.Relay != "":
+						arm.Relayed++
+						if killedAt != notKilled {
+							arm.RelayedAfterKill++
+						}
+					case choice.Degraded:
+						arm.Degraded++
+					}
+				}
+			}
+			if killedAt != notKilled && !arm.Reelected && b1.IsSurrogate() {
+				arm.Reelected = true
+				arm.ReelectLatency = clk.Now() - killedAt
+			}
+			clk.Sleep(cfg.CallGap)
 		}
-		time.Sleep(cfg.CallGap)
-	}
-	// A re-election that lands after the last call still counts, with the
-	// latency measured at observation time.
-	if !killedAt.IsZero() && !arm.Reelected && b1.IsSurrogate() {
-		arm.Reelected = true
-		arm.ReelectLatency = time.Since(killedAt)
-	}
-	return arm, nil
+		// A re-election that lands after the last call still counts, with the
+		// latency measured at observation time.
+		if killedAt != notKilled && !arm.Reelected && b1.IsSurrogate() {
+			arm.Reelected = true
+			arm.ReelectLatency = clk.Now() - killedAt
+		}
+	})
+	return arm, runErr
 }
 
 // String renders the churn result as a two-line report.

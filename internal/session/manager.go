@@ -7,30 +7,9 @@ import (
 	"time"
 
 	"asap/internal/netmodel"
+	"asap/internal/sim"
 	"asap/internal/transport"
 )
-
-// Clock drives the monitor loop. *sim.Clock satisfies it directly, so
-// deterministic tests and the eval harness schedule virtual time; asapd
-// uses WallClock.
-type Clock interface {
-	// Now returns the current time as an offset from the clock's origin.
-	Now() time.Duration
-	// After schedules fn to run d from now.
-	After(d time.Duration, fn func())
-}
-
-// WallClock is the real-time Clock for live deployments.
-type WallClock struct{ start time.Time }
-
-// NewWallClock returns a wall clock anchored at the current instant.
-func NewWallClock() *WallClock { return &WallClock{start: time.Now()} }
-
-// Now implements Clock.
-func (w *WallClock) Now() time.Duration { return time.Since(w.start) }
-
-// After implements Clock.
-func (w *WallClock) After(d time.Duration, fn func()) { time.AfterFunc(d, fn) }
 
 // Driver performs the session layer's network operations. *core.Node
 // implements it over the transport; tests script it.
@@ -178,7 +157,7 @@ func WithFlowOpener(fn func(relay, callee transport.Addr) (uint64, error)) Optio
 // the commit order stays deterministic under the sim clock.
 type Manager struct {
 	cfg      Config
-	clk      Clock
+	clk      sim.Scheduler
 	drv      Driver
 	reselect func(callee transport.Addr) ([]Candidate, error)
 	onEvent  func(Event)
@@ -191,13 +170,15 @@ type Manager struct {
 	closed   bool
 }
 
-// NewManager builds a session manager over the given clock and driver.
-func NewManager(cfg Config, clk Clock, drv Driver, opts ...Option) (*Manager, error) {
+// NewManager builds a session manager over the given scheduler and
+// driver. The scheduler is the shared time source of the whole stack: a
+// *sim.Clock in tests and simulation, sim.NewWall() in asapd.
+func NewManager(cfg Config, clk sim.Scheduler, drv Driver, opts ...Option) (*Manager, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if clk == nil || drv == nil {
-		return nil, fmt.Errorf("session: Manager needs a clock and a driver")
+		return nil, fmt.Errorf("session: Manager needs a scheduler and a driver")
 	}
 	m := &Manager{cfg: cfg, clk: clk, drv: drv, sessions: make(map[uint64]*Session)}
 	for _, o := range opts {
@@ -379,15 +360,14 @@ func (m *Manager) probeTick() {
 	case 1:
 		m.runPlan(plans[0])
 	default:
-		var wg sync.WaitGroup
-		for _, p := range plans {
-			wg.Add(1)
-			go func(p *probePlan) {
-				defer wg.Done()
-				m.runPlan(p)
-			}(p)
+		// Fan out via the scheduler: genuinely concurrent on the wall
+		// adapter, deterministically interleaved on the virtual clock.
+		fns := make([]func(), len(plans))
+		for i, p := range plans {
+			p := p
+			fns[i] = func() { m.runPlan(p) }
 		}
-		wg.Wait()
+		m.clk.Join(0, fns...)
 	}
 
 	m.mu.Lock()
@@ -585,15 +565,12 @@ func (m *Manager) keepaliveTick() {
 	case 1:
 		plans[0].err = m.drv.Keepalive(plans[0].target, plans[0].flowID)
 	default:
-		var wg sync.WaitGroup
-		for _, p := range plans {
-			wg.Add(1)
-			go func(p *kaPlan) {
-				defer wg.Done()
-				p.err = m.drv.Keepalive(p.target, p.flowID)
-			}(p)
+		fns := make([]func(), len(plans))
+		for i, p := range plans {
+			p := p
+			fns[i] = func() { p.err = m.drv.Keepalive(p.target, p.flowID) }
 		}
-		wg.Wait()
+		m.clk.Join(0, fns...)
 	}
 
 	m.mu.Lock()

@@ -526,7 +526,7 @@ func TestProbesConcurrentAcrossSessionsWallClock(t *testing.T) {
 	cfg.KeepaliveInterval = time.Hour // keep keepalive traffic out of the way
 	cfg.Backups = 0                   // exactly one probe per session per tick
 	drv := &rendezvousDriver{need: 2, reached: make(chan struct{})}
-	m, err := NewManager(cfg, NewWallClock(), drv)
+	m, err := NewManager(cfg, sim.NewWall(), drv)
 	if err != nil {
 		t.Fatal(err)
 	}

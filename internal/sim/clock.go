@@ -2,24 +2,58 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
+	"sync"
 	"time"
 )
 
-// Clock is a virtual simulation clock. Actors schedule events at absolute
-// virtual times; Run drains the event queue in time order. The zero value is
-// ready to use at virtual time zero.
+// Clock is a virtual simulation clock and deterministic task scheduler —
+// the virtual implementation of Scheduler. Actors schedule events at
+// absolute virtual times; Step/Run/RunUntil/RunTask drain the event
+// queue in time order. The zero value is ready to use at virtual time
+// zero.
+//
+// Execution model: every scheduled callback (After, AfterFunc, Go, Join)
+// runs as a *task* — a goroutine that holds the clock's single virtual
+// CPU. Exactly one task runs at a time; it yields only at scheduler
+// calls (Sleep, SleepCtx, Join, Waiter.Wait) or by finishing, at which
+// point the event loop resumes the next event in (time, schedule-order)
+// sequence. Because interleaving points are explicit and the event order
+// is a pure function of the schedule, a whole-stack run over the virtual
+// clock is deterministic: same seed, same byte-identical trace — no
+// matter the host, GOMAXPROCS, or run count.
+//
+// Clock methods are safe for concurrent use, but the blocking calls
+// (Sleep, Join, Waiter.Wait) must come from scheduler tasks; calling
+// them from an untracked goroutine panics rather than deadlocking.
 type Clock struct {
-	now    time.Duration
-	queue  eventQueue
-	nextID uint64
+	mu      sync.Mutex
+	now     time.Duration
+	queue   eventQueue
+	nextID  uint64
+	current *task // task holding the virtual CPU (nil while the loop runs)
+	tasks   int   // live tasks: started (or queued to start) and not finished
 }
 
-// Event is a scheduled callback.
+// NewClock returns a virtual clock at time zero.
+func NewClock() *Clock { return &Clock{} }
+
+// task is one tracked goroutine. The loop and the task hand the virtual
+// CPU back and forth over the two unbuffered channels: wake means "you
+// run now", park means "I blocked or finished".
+type task struct {
+	wake chan struct{}
+	park chan struct{}
+}
+
+// event is a scheduled callback, run by the event loop.
 type event struct {
-	at   time.Duration
-	id   uint64 // tie-break so equal-time events run in schedule order
-	call func()
+	at       time.Duration
+	id       uint64 // tie-break so equal-time events run in schedule order
+	call     func()
+	canceled bool
+	fired    bool
 }
 
 type eventQueue []*event
@@ -43,16 +77,31 @@ func (q *eventQueue) Pop() interface{} {
 }
 
 // Now returns the current virtual time.
-func (c *Clock) Now() time.Duration { return c.now }
+func (c *Clock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
 
-// At schedules fn to run at absolute virtual time at. Scheduling in the past
-// panics: that is always a protocol bug, not a recoverable condition.
-func (c *Clock) At(at time.Duration, fn func()) {
+// scheduleLocked enqueues a raw loop callback at absolute time at.
+func (c *Clock) scheduleLocked(at time.Duration, call func()) *event {
 	if at < c.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, c.now))
 	}
 	c.nextID++
-	heap.Push(&c.queue, &event{at: at, id: c.nextID, call: fn})
+	e := &event{at: at, id: c.nextID, call: call}
+	heap.Push(&c.queue, e)
+	return e
+}
+
+// At schedules fn to run at absolute virtual time at. The callback runs
+// as its own task. Scheduling in the past panics: that is always a
+// protocol bug, not a recoverable condition.
+func (c *Clock) At(at time.Duration, fn func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tasks++
+	c.scheduleLocked(at, func() { c.startTask(fn) })
 }
 
 // After schedules fn to run d after the current virtual time.
@@ -60,26 +109,275 @@ func (c *Clock) After(d time.Duration, fn func()) {
 	if d < 0 {
 		d = 0
 	}
-	c.At(c.now+d, fn)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tasks++
+	c.scheduleLocked(c.now+d, func() { c.startTask(fn) })
 }
 
-// Step runs the earliest pending event, advancing the clock to its time.
-// It reports whether an event ran.
-func (c *Clock) Step() bool {
-	if len(c.queue) == 0 {
+// AfterFunc implements Scheduler: After with a cancelable handle.
+func (c *Clock) AfterFunc(d time.Duration, fn func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tasks++
+	e := c.scheduleLocked(c.now+d, func() { c.startTask(fn) })
+	return &clockTimer{c: c, e: e}
+}
+
+// clockTimer cancels a pending task event.
+type clockTimer struct {
+	c *Clock
+	e *event
+}
+
+func (t *clockTimer) Stop() bool {
+	t.c.mu.Lock()
+	defer t.c.mu.Unlock()
+	if t.e.canceled || t.e.fired {
 		return false
 	}
-	e := heap.Pop(&c.queue).(*event)
-	c.now = e.at
-	e.call()
+	t.e.canceled = true
+	t.c.tasks-- // the task will never start
 	return true
 }
 
+// Go implements Scheduler: fn runs as a task at the current virtual
+// time, after the caller next yields.
+func (c *Clock) Go(fn func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tasks++
+	c.scheduleLocked(c.now, func() { c.startTask(fn) })
+}
+
+// startTask spawns the goroutine for a task event and hands it the CPU.
+// Runs on the loop goroutine.
+func (c *Clock) startTask(fn func()) {
+	t := &task{wake: make(chan struct{}), park: make(chan struct{})}
+	go func() {
+		<-t.wake
+		fn()
+		c.mu.Lock()
+		c.current = nil
+		c.tasks--
+		c.mu.Unlock()
+		t.park <- struct{}{}
+	}()
+	c.resume(t)
+}
+
+// resume hands the virtual CPU to t and blocks until t parks or
+// finishes. Runs on the loop goroutine.
+func (c *Clock) resume(t *task) {
+	c.mu.Lock()
+	c.current = t
+	c.mu.Unlock()
+	t.wake <- struct{}{}
+	<-t.park
+}
+
+// yieldLocked parks the calling task (which must hold the CPU) until a
+// previously scheduled resume event hands it back. Called with c.mu
+// held; returns with it released.
+func (c *Clock) yieldLocked(t *task) {
+	c.current = nil
+	c.mu.Unlock()
+	t.park <- struct{}{}
+	<-t.wake
+}
+
+// mustCurrentLocked returns the running task or panics with a pointed
+// message — raw goroutines must not block on the virtual clock.
+func (c *Clock) mustCurrentLocked(op string) *task {
+	if c.current == nil {
+		c.mu.Unlock()
+		panic("sim: " + op + " called outside a scheduler task (start the caller with Go/After/RunTask)")
+	}
+	return c.current
+}
+
+// Sleep implements Scheduler: the calling task parks for d of virtual
+// time while the event loop keeps draining other events.
+func (c *Clock) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	c.mu.Lock()
+	t := c.mustCurrentLocked("Sleep")
+	c.scheduleLocked(c.now+d, func() { c.resume(t) })
+	c.yieldLocked(t)
+}
+
+// SleepCtx implements Scheduler. Cancellation is observed at the wake
+// instant: virtual sleeps cost nothing, and a deterministic wake point
+// keeps the event order reproducible.
+func (c *Clock) SleepCtx(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.Sleep(d)
+	return ctx.Err()
+}
+
+// Join implements Scheduler: each fn runs as a task (serially, in
+// argument order — virtual tasks never overlap) and Join returns when
+// the last one finishes. limit is ignored under the virtual clock.
+func (c *Clock) Join(limit int, fns ...func()) {
+	_ = limit
+	switch len(fns) {
+	case 0:
+		return
+	case 1:
+		fns[0]()
+		return
+	}
+	w := c.NewWaiter()
+	var mu sync.Mutex
+	remaining := len(fns)
+	for _, fn := range fns {
+		fn := fn
+		c.Go(func() {
+			fn()
+			mu.Lock()
+			remaining--
+			last := remaining == 0
+			mu.Unlock()
+			if last {
+				w.Wake()
+			}
+		})
+	}
+	w.Wait(-1)
+}
+
+// NewWaiter implements Scheduler.
+func (c *Clock) NewWaiter() Waiter { return &clockWaiter{c: c} }
+
+// clockWaiter parks one task until woken or timed out; the first of
+// (Wake, deadline) wins deterministically by event order.
+type clockWaiter struct {
+	c        *Clock
+	woken    bool
+	timedOut bool
+	waiting  *task
+	deadline *event
+}
+
+func (w *clockWaiter) Wake() {
+	c := w.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if w.woken || w.timedOut {
+		return
+	}
+	w.woken = true
+	t := w.waiting
+	w.waiting = nil
+	if t == nil {
+		return // Wake before Wait: remembered by the woken flag
+	}
+	if w.deadline != nil {
+		w.deadline.canceled = true
+		w.deadline = nil
+	}
+	c.scheduleLocked(c.now, func() { c.resume(t) })
+}
+
+func (w *clockWaiter) Wait(timeout time.Duration) bool {
+	c := w.c
+	c.mu.Lock()
+	if w.woken {
+		c.mu.Unlock()
+		return true
+	}
+	if w.timedOut {
+		c.mu.Unlock()
+		return false
+	}
+	t := c.mustCurrentLocked("Waiter.Wait")
+	w.waiting = t
+	if timeout >= 0 {
+		w.deadline = c.scheduleLocked(c.now+timeout, func() {
+			c.mu.Lock()
+			tt := w.waiting
+			w.waiting = nil
+			w.timedOut = true
+			w.deadline = nil
+			c.mu.Unlock()
+			if tt != nil {
+				c.resume(tt)
+			}
+		})
+	}
+	c.yieldLocked(t)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return w.woken
+}
+
+// Step runs the earliest pending event, advancing the clock to its time
+// and blocking until the stack quiesces again (the event's task parked
+// or finished). It reports whether an event ran.
+func (c *Clock) Step() bool {
+	for {
+		c.mu.Lock()
+		if c.current != nil {
+			c.mu.Unlock()
+			panic("sim: Step while a task holds the virtual CPU")
+		}
+		if len(c.queue) == 0 {
+			c.mu.Unlock()
+			return false
+		}
+		e := heap.Pop(&c.queue).(*event)
+		if e.canceled {
+			c.mu.Unlock()
+			continue
+		}
+		e.fired = true
+		c.now = e.at
+		c.mu.Unlock()
+		e.call()
+		return true
+	}
+}
+
 // Run drains all pending events, including events scheduled by events.
-// It returns the number of events executed.
+// It returns the number of events executed, and panics if tasks remain
+// parked with nothing left to wake them — a deadlock in the simulated
+// protocol.
 func (c *Clock) Run() int {
 	n := 0
 	for c.Step() {
+		n++
+	}
+	c.mu.Lock()
+	stuck := c.tasks
+	c.mu.Unlock()
+	if stuck > 0 {
+		panic(fmt.Sprintf("sim: deadlock: %d task(s) parked with an empty event queue", stuck))
+	}
+	return n
+}
+
+// RunTask runs fn as a task at the current virtual time and drives the
+// event loop until fn returns, leaving any later-scheduled events
+// unrun (background loops simply stop ticking when the workload ends).
+// It returns the number of events executed.
+func (c *Clock) RunTask(fn func()) int {
+	done := false
+	c.Go(func() {
+		fn()
+		done = true
+	})
+	n := 0
+	for !done {
+		if !c.Step() {
+			panic("sim: RunTask: root task parked with an empty event queue (deadlock)")
+		}
 		n++
 	}
 	return n
@@ -89,15 +387,38 @@ func (c *Clock) Run() int {
 // exactly deadline afterwards. It returns the number of events executed.
 func (c *Clock) RunUntil(deadline time.Duration) int {
 	n := 0
-	for len(c.queue) > 0 && c.queue[0].at <= deadline {
-		c.Step()
+	for {
+		c.mu.Lock()
+		for len(c.queue) > 0 && c.queue[0].canceled {
+			heap.Pop(&c.queue)
+		}
+		if len(c.queue) == 0 || c.queue[0].at > deadline {
+			if c.now < deadline {
+				c.now = deadline
+			}
+			c.mu.Unlock()
+			return n
+		}
+		c.mu.Unlock()
+		if !c.Step() {
+			return n
+		}
 		n++
 	}
-	if c.now < deadline {
-		c.now = deadline
+}
+
+// Pending returns the number of scheduled events not yet run.
+func (c *Clock) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, e := range c.queue {
+		if !e.canceled {
+			n++
+		}
 	}
 	return n
 }
 
-// Pending returns the number of scheduled events not yet run.
-func (c *Clock) Pending() int { return len(c.queue) }
+// Interface compliance.
+var _ Scheduler = (*Clock)(nil)

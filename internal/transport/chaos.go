@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"asap/internal/sim"
 )
 
 // Chaos decorates another Transport with deterministic, seedable fault
@@ -25,6 +27,11 @@ import (
 type Chaos struct {
 	inner Transport
 
+	// Sched anchors outage windows and added latency. Nil means real
+	// time; simulations inject their *sim.Clock so a -chaos spec produces
+	// the same fault timeline regardless of host speed.
+	Sched sim.Scheduler
+
 	mu       sync.Mutex
 	rng      *rand.Rand
 	dropAll  float64
@@ -33,8 +40,15 @@ type Chaos struct {
 	lat      map[Addr]time.Duration
 	black    map[Addr]bool
 	failNext map[Addr]int
-	outage   map[Addr]time.Time
+	outage   map[Addr]time.Duration // scheduler offset at which the outage ends
 	stats    ChaosStats
+}
+
+func (c *Chaos) sched() sim.Scheduler {
+	if c.Sched != nil {
+		return c.Sched
+	}
+	return wallFallback
 }
 
 // ChaosStats counts injected faults.
@@ -63,7 +77,7 @@ func NewChaos(inner Transport, seed int64) *Chaos {
 		lat:      make(map[Addr]time.Duration),
 		black:    make(map[Addr]bool),
 		failNext: make(map[Addr]int),
-		outage:   make(map[Addr]time.Time),
+		outage:   make(map[Addr]time.Duration),
 	}
 }
 
@@ -79,6 +93,7 @@ func (c *Chaos) Close() error { return c.inner.Close() }
 // fails with ErrUnreachable, delays, or passes through to the inner
 // transport.
 func (c *Chaos) Call(to Addr, req *Message) (*Message, error) {
+	now := c.sched().Now()
 	c.mu.Lock()
 	c.stats.Calls++
 	switch {
@@ -94,7 +109,7 @@ func (c *Chaos) Call(to Addr, req *Message) (*Message, error) {
 		c.stats.Failed++
 		c.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s (chaos: one-shot failure)", ErrUnreachable, to)
-	case time.Now().Before(c.outage[to]):
+	case now < c.outage[to]:
 		c.stats.Outaged++
 		c.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s (chaos: outage window)", ErrUnreachable, to)
@@ -114,7 +129,7 @@ func (c *Chaos) Call(to Addr, req *Message) (*Message, error) {
 	}
 	c.mu.Unlock()
 	if extra > 0 {
-		time.Sleep(extra)
+		c.sched().Sleep(extra)
 	}
 	return c.inner.Call(to, req)
 }
@@ -180,12 +195,14 @@ func (c *Chaos) FailNext(addr Addr, n int) {
 	c.failNext[addr] = n
 }
 
-// OutageFor makes addr unreachable for the next d of wall time — the
-// bootstrap-outage-window fault of the churn experiments.
+// OutageFor makes addr unreachable for the next d of scheduler time —
+// the bootstrap-outage-window fault of the churn experiments. Under a
+// virtual clock the window closes at a deterministic virtual instant.
 func (c *Chaos) OutageFor(addr Addr, d time.Duration) {
+	end := c.sched().Now() + d
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.outage[addr] = time.Now().Add(d)
+	c.outage[addr] = end
 }
 
 // Stats returns a snapshot of the fault counters.
@@ -204,7 +221,7 @@ func (c *Chaos) Stats() ChaosStats {
 //	lat@ADDR=D        per-destination added latency
 //	blackhole@ADDR    permanent blackhole
 //	fail@ADDR=N       next N calls to ADDR fail
-//	outage@ADDR=D     ADDR unreachable for the next D of wall time
+//	outage@ADDR=D     ADDR unreachable for the next D of scheduler time
 //
 // e.g. "drop=0.05,lat=20ms,blackhole@127.0.0.1:7001,outage@127.0.0.1:7000=5s".
 func (c *Chaos) Apply(spec string) error {

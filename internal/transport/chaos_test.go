@@ -4,6 +4,8 @@ import (
 	"errors"
 	"testing"
 	"time"
+
+	"asap/internal/sim"
 )
 
 // echoMem builds a Mem with a trivial echo handler bound at each addr.
@@ -126,17 +128,25 @@ func TestChaosFailNext(t *testing.T) {
 }
 
 func TestChaosOutageWindow(t *testing.T) {
+	// The outage window is anchored to the injected scheduler: no real
+	// sleeping, the window closes when virtual time passes its end.
+	clk := sim.NewClock()
 	c := NewChaos(echoMem(t, "a"), 1)
+	c.Sched = clk
 	c.OutageFor("a", 60*time.Millisecond)
 	if _, err := c.Call("a", &Message{Type: MsgPing}); !errors.Is(err, ErrUnreachable) {
 		t.Fatalf("in-window call = %v, want ErrUnreachable", err)
 	}
-	time.Sleep(80 * time.Millisecond)
+	clk.RunUntil(59 * time.Millisecond)
+	if _, err := c.Call("a", &Message{Type: MsgPing}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("call just inside window = %v, want ErrUnreachable", err)
+	}
+	clk.RunUntil(60 * time.Millisecond)
 	if _, err := c.Call("a", &Message{Type: MsgPing}); err != nil {
 		t.Fatalf("post-window call failed: %v", err)
 	}
-	if got := c.Stats().Outaged; got != 1 {
-		t.Fatalf("Outaged = %d, want 1", got)
+	if got := c.Stats().Outaged; got != 2 {
+		t.Fatalf("Outaged = %d, want 2", got)
 	}
 }
 
@@ -166,7 +176,7 @@ func TestChaosApplySpec(t *testing.T) {
 		c.lat["a"] != 2*time.Millisecond,
 		!c.black["b"],
 		c.failNext["a"] != 3,
-		!c.outage["a"].After(time.Now()):
+		c.outage["a"] <= c.sched().Now():
 		c.mu.Unlock()
 		t.Fatalf("Apply left unexpected fault tables: %+v", c)
 	}

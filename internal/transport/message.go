@@ -125,8 +125,10 @@ type Message struct {
 	CloseSet []CloseEntry
 	// Nodal carries MsgPublishNodalInfo attributes.
 	Nodal NodalInfo
-	// SentAt timestamps pings for RTT computation on the caller side.
-	SentAt time.Time
+	// SentAt timestamps pings for RTT computation on the caller side, as
+	// an offset on the sender's scheduler. Only the sender interprets it
+	// (the receiver echoes it back), so the origin never leaves the node.
+	SentAt time.Duration
 	// Dst is the forwarding destination (MsgRelayOpen, MsgVoice).
 	Dst Addr
 	// FlowID identifies a relayed voice flow.

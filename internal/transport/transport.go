@@ -19,6 +19,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"asap/internal/sim"
 )
 
 // Addr identifies a node ("host:port" for TCP, any unique string for the
@@ -66,13 +68,28 @@ type Mem struct {
 	handlers map[Addr]Handler
 	closed   bool
 	// Latency, if set, returns the one-way delay between two addresses;
-	// Call sleeps twice that.
+	// Call delays twice that on the scheduler before invoking the handler.
 	Latency func(from, to Addr) time.Duration
+	// Sched is the time source for latency emulation. Nil means real time
+	// (a shared wall adapter); simulations inject their *sim.Clock so the
+	// delay costs virtual time only.
+	Sched sim.Scheduler
 }
 
 // NewMem returns an empty in-memory transport.
 func NewMem() *Mem {
 	return &Mem{handlers: make(map[Addr]Handler)}
+}
+
+// wallFallback is the shared real-time scheduler used by components that
+// were not given one explicitly.
+var wallFallback = sim.NewWall()
+
+func (m *Mem) sched() sim.Scheduler {
+	if m.Sched != nil {
+		return m.Sched
+	}
+	return wallFallback
 }
 
 // Serve implements Transport.
@@ -100,7 +117,9 @@ func (m *Mem) Call(to Addr, req *Message) (*Message, error) {
 		return nil, fmt.Errorf("%w: %s", ErrUnreachable, to)
 	}
 	if lat != nil {
-		time.Sleep(2 * lat(req.From, to))
+		if d := 2 * lat(req.From, to); d > 0 {
+			m.sched().Sleep(d)
+		}
 	}
 	resp, err := h(req.From, req)
 	if err != nil {

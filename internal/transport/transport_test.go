@@ -7,6 +7,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"asap/internal/sim"
 )
 
 func echoHandler(from Addr, req *Message) (*Message, error) {
@@ -64,6 +66,27 @@ func TestMemLatency(t *testing.T) {
 	if el := time.Since(start); el < 10*time.Millisecond {
 		t.Errorf("call took %v, want >= 10ms (2x one-way)", el)
 	}
+}
+
+func TestMemLatencyVirtual(t *testing.T) {
+	// With an injected virtual clock the latency emulation costs virtual
+	// time only: the call is delayed 2x one-way on the event queue.
+	clk := sim.NewClock()
+	m := NewMem()
+	defer func() { _ = m.Close() }()
+	m.Sched = clk
+	m.Latency = func(from, to Addr) time.Duration { return 25 * time.Millisecond }
+	if _, err := m.Serve("a", echoHandler); err != nil {
+		t.Fatal(err)
+	}
+	clk.RunTask(func() {
+		if _, err := m.Call("a", &Message{Type: MsgPing, From: "b"}); err != nil {
+			t.Error(err)
+		}
+		if clk.Now() != 50*time.Millisecond {
+			t.Errorf("call completed at %v, want 50ms of virtual time", clk.Now())
+		}
+	})
 }
 
 func TestMemHandlerError(t *testing.T) {
