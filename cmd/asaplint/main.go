@@ -1,0 +1,263 @@
+// Command asaplint is the repo's invariant gate: a static-analysis
+// multichecker enforcing the determinism, time-model and concurrency
+// rules that make experiment runs byte-identical for a given seed
+// (DESIGN.md §11). It runs five analyzers over internal/:
+//
+//	schedtime  — no direct time-package scheduling or clock reads
+//	seededrand — no global math/rand, no wall-clock-seeded sources
+//	schedgo    — no bare `go` statements off the Scheduler
+//	maporder   — no map iteration order leaking into output
+//	lockio     — no transport I/O while a mutex is held
+//
+// Usage:
+//
+//	asaplint [packages...]     # default ./internal/...
+//
+// A finding can be suppressed — with a justification, which is
+// mandatory — by a comment on the flagged line or the line above:
+//
+//	//lint:allow schedtime net deadlines are absolute wall-clock instants
+//
+// Exit status is 1 if any finding remains unsuppressed.
+package main
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"asap/internal/lint/analysis"
+	"asap/internal/lint/loader"
+	"asap/internal/lint/lockio"
+	"asap/internal/lint/maporder"
+	"asap/internal/lint/schedgo"
+	"asap/internal/lint/schedtime"
+	"asap/internal/lint/seededrand"
+)
+
+var analyzers = []*analysis.Analyzer{
+	schedtime.Analyzer,
+	seededrand.Analyzer,
+	schedgo.Analyzer,
+	maporder.Analyzer,
+	lockio.Analyzer,
+}
+
+type finding struct {
+	pos      token.Position
+	analyzer string
+	message  string
+}
+
+// allow is one parsed //lint:allow comment.
+type allow struct {
+	analyzer      string
+	justification string
+	used          bool
+	pos           token.Position
+}
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 1 && (args[0] == "-h" || args[0] == "-help" || args[0] == "--help") {
+		usage()
+		return
+	}
+	if len(args) == 0 {
+		args = []string{"./internal/..."}
+	}
+	dirs, err := expand(args)
+	if err != nil {
+		fatal(err)
+	}
+	modName, modDir, err := loader.FindModule(".")
+	if err != nil {
+		fatal(err)
+	}
+	ld := loader.New(loader.Config{ModName: modName, ModDir: modDir})
+
+	var findings []finding
+	for _, dir := range dirs {
+		pkg, err := ld.LoadDir(dir)
+		if err != nil {
+			fatal(err)
+		}
+		findings = append(findings, lintPackage(pkg)...)
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.pos.Filename != b.pos.Filename {
+			return a.pos.Filename < b.pos.Filename
+		}
+		if a.pos.Line != b.pos.Line {
+			return a.pos.Line < b.pos.Line
+		}
+		if a.pos.Column != b.pos.Column {
+			return a.pos.Column < b.pos.Column
+		}
+		return a.analyzer < b.analyzer
+	})
+	cwd, _ := os.Getwd()
+	for _, f := range findings {
+		name := f.pos.Filename
+		if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", name, f.pos.Line, f.pos.Column, f.analyzer, f.message)
+	}
+	if n := len(findings); n > 0 {
+		fmt.Printf("asaplint: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+	fmt.Printf("asaplint: %d package(s) clean (%s)\n", len(dirs), analyzerNames())
+}
+
+// lintPackage runs every analyzer over one package and applies
+// //lint:allow suppressions.
+func lintPackage(pkg *loader.Package) []finding {
+	allows, findings := collectAllows(pkg)
+	for _, a := range analyzers {
+		a := a
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Report: func(d analysis.Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if suppressed(allows, a.Name, pos) {
+					return
+				}
+				findings = append(findings, finding{pos: pos, analyzer: a.Name, message: d.Message})
+			},
+		}
+		if _, err := a.Run(pass); err != nil {
+			fatal(fmt.Errorf("%s: %w", a.Name, err))
+		}
+	}
+	return findings
+}
+
+// collectAllows parses every //lint:allow comment in the package. A
+// malformed allow — unknown analyzer or missing justification — is
+// itself a finding: suppressions must say which rule is being waived
+// and why.
+func collectAllows(pkg *loader.Package) (map[string][]*allow, []finding) {
+	allows := make(map[string][]*allow) // keyed by filename
+	var findings []finding
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//lint:allow")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0 || !known[fields[0]]:
+					findings = append(findings, finding{pos: pos, analyzer: "allow",
+						message: fmt.Sprintf("//lint:allow must name an analyzer (%s)", analyzerNames())})
+				case len(fields) < 2:
+					findings = append(findings, finding{pos: pos, analyzer: "allow",
+						message: fmt.Sprintf("//lint:allow %s needs a justification: //lint:allow %[1]s <why this exemption is sound>", fields[0])})
+				default:
+					allows[pos.Filename] = append(allows[pos.Filename],
+						&allow{analyzer: fields[0], justification: strings.Join(fields[1:], " "), pos: pos})
+				}
+			}
+		}
+	}
+	return allows, findings
+}
+
+// suppressed reports whether a well-formed allow for the analyzer sits
+// on the finding's line or the line directly above it.
+func suppressed(allows map[string][]*allow, analyzer string, pos token.Position) bool {
+	for _, al := range allows[pos.Filename] {
+		if al.analyzer == analyzer && (al.pos.Line == pos.Line || al.pos.Line == pos.Line-1) {
+			al.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// expand resolves package arguments: a trailing "/..." walks the tree
+// for directories containing non-test Go files; testdata and hidden
+// directories are skipped.
+func expand(args []string) ([]string, error) {
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, arg := range args {
+		root, recursive := strings.CutSuffix(arg, "/...")
+		if root == "" {
+			root = "."
+		}
+		if !recursive {
+			add(filepath.Clean(arg))
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				name := d.Name()
+				if name == "testdata" || (len(name) > 1 && (name[0] == '.' || name[0] == '_')) {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+				add(filepath.Dir(path))
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func analyzerNames() string {
+	names := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		names[i] = a.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+func usage() {
+	fmt.Println("asaplint [packages...]  (default ./internal/...)")
+	fmt.Println()
+	for _, a := range analyzers {
+		fmt.Printf("  %-10s %s\n", a.Name, a.Doc)
+	}
+	fmt.Println()
+	fmt.Println("Suppress one finding, with a mandatory justification, via a comment on")
+	fmt.Println("the flagged line or the line above:")
+	fmt.Println("  //lint:allow <analyzer> <why this exemption is sound>")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "asaplint:", err)
+	os.Exit(1)
+}

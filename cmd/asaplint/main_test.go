@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"asap/internal/lint/loader"
+)
+
+func loadFixture(t *testing.T, pkg string) []finding {
+	t.Helper()
+	modName, modDir, err := loader.FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := loader.New(loader.Config{ModName: modName, ModDir: modDir, SrcDirs: []string{"testdata/src"}})
+	p, err := ld.LoadDir("testdata/src/" + pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lintPackage(p)
+}
+
+// TestInjectedViolation is the acceptance check for the gate itself: a
+// time.Sleep smuggled into a linted package must surface as a
+// file:line:col diagnostic from the schedtime analyzer.
+func TestInjectedViolation(t *testing.T) {
+	findings := loadFixture(t, "viol")
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %+v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.analyzer != "schedtime" {
+		t.Errorf("analyzer = %q, want schedtime", f.analyzer)
+	}
+	if !strings.HasSuffix(f.pos.Filename, "viol.go") || f.pos.Line != 6 || f.pos.Column == 0 {
+		t.Errorf("diagnostic position = %s:%d:%d, want viol.go:6 with a column", f.pos.Filename, f.pos.Line, f.pos.Column)
+	}
+}
+
+// TestAllowSuppression: a //lint:allow with the analyzer name and a
+// justification on the line above silences exactly that finding.
+func TestAllowSuppression(t *testing.T) {
+	if findings := loadFixture(t, "allowed"); len(findings) != 0 {
+		t.Fatalf("justified //lint:allow did not suppress: %+v", findings)
+	}
+}
+
+// TestAllowRequiresJustification: a bare //lint:allow is itself a
+// finding and suppresses nothing; an unknown analyzer name likewise.
+func TestAllowRequiresJustification(t *testing.T) {
+	findings := loadFixture(t, "badallow")
+	var sawNeedsWhy, sawUnknown, sawUnsuppressed bool
+	for _, f := range findings {
+		switch {
+		case f.analyzer == "allow" && strings.Contains(f.message, "needs a justification"):
+			sawNeedsWhy = true
+		case f.analyzer == "allow" && strings.Contains(f.message, "must name an analyzer"):
+			sawUnknown = true
+		case f.analyzer == "schedtime":
+			sawUnsuppressed = true
+		}
+	}
+	if !sawNeedsWhy {
+		t.Error("missing 'needs a justification' finding for bare //lint:allow")
+	}
+	if !sawUnknown {
+		t.Error("missing 'must name an analyzer' finding for unknown analyzer")
+	}
+	if !sawUnsuppressed {
+		t.Error("malformed //lint:allow must not suppress the underlying schedtime finding")
+	}
+}

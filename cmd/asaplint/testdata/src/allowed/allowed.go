@@ -1,0 +1,8 @@
+package allowed
+
+import "time"
+
+func sleepy() {
+	//lint:allow schedtime fixture demonstrating a justified suppression
+	time.Sleep(time.Second)
+}

@@ -1,0 +1,13 @@
+package badallow
+
+import "time"
+
+func sleepy() {
+	//lint:allow schedtime
+	time.Sleep(time.Second)
+}
+
+func napping() {
+	//lint:allow nosuchanalyzer because reasons
+	time.Sleep(time.Second)
+}

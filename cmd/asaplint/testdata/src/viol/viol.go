@@ -1,0 +1,7 @@
+package viol
+
+import "time"
+
+func sleepy() {
+	time.Sleep(time.Second)
+}

@@ -3,7 +3,16 @@ package eval
 import (
 	"runtime"
 	"sync"
+
+	"asap/internal/sim"
 )
+
+// harnessSched spawns the harness's worker goroutines. The workers run
+// at wall time by design — they parallelize whole experiment arms, each
+// of which owns a private virtual clock — but they still go through a
+// sim.Scheduler so every goroutine in internal/ is accounted for by the
+// concurrency model (DESIGN.md §9; enforced by the schedgo analyzer).
+var harnessSched sim.Scheduler = sim.NewWall()
 
 // normWorkers resolves a worker-count argument: anything below 1 means
 // "use every available CPU".
@@ -38,19 +47,18 @@ func forEachIndexed(workers, n int, fn func(i int)) {
 		mu.Unlock()
 		return i
 	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := take()
-				if i >= n {
-					return
-				}
-				fn(i)
+	worker := func() {
+		for {
+			i := take()
+			if i >= n {
+				return
 			}
-		}()
+			fn(i)
+		}
 	}
-	wg.Wait()
+	pool := make([]func(), workers)
+	for w := range pool {
+		pool[w] = worker
+	}
+	harnessSched.Join(0, pool...)
 }

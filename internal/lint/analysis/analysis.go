@@ -1,0 +1,58 @@
+// Package analysis is a minimal, dependency-free stand-in for
+// golang.org/x/tools/go/analysis, carrying just the surface the asaplint
+// analyzers need: an Analyzer with a Run function, a Pass holding one
+// type-checked package, and position-tagged Diagnostics.
+//
+// The build environment for this repo is offline (no module proxy), so
+// x/tools cannot be vendored; the shim keeps the analyzers written in the
+// upstream idiom — each exports `var Analyzer = &analysis.Analyzer{...}` —
+// so they can migrate to the real framework by swapping one import.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow suppression comments.
+	Name string
+	// Doc is a one-paragraph description of the rule the analyzer
+	// enforces, shown by `asaplint -help`.
+	Doc string
+	// Run applies the analyzer to one package and reports findings
+	// through pass.Report. The returned value is unused by the driver
+	// but kept for upstream signature compatibility.
+	Run func(*Pass) (interface{}, error)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass holds a single type-checked package being analyzed plus the
+// reporting callback.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Filename returns the file name containing pos.
+func (p *Pass) Filename(pos token.Pos) string {
+	return p.Fset.Position(pos).Filename
+}

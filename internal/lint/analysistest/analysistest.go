@@ -1,0 +1,164 @@
+// Package analysistest runs an analyzer over fixture packages under
+// testdata/src and checks its diagnostics against `// want "regexp"`
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest
+// closely enough that the fixtures read identically.
+//
+// Expectations: a line carrying `// want "pat"` (one or more quoted
+// patterns) must receive one diagnostic per pattern, each matching its
+// regexp. Any diagnostic on a line without a matching expectation, and
+// any expectation left unmatched, fails the test. Fixture files named
+// *_test.go are loaded too, so the analyzers' test-file exemptions are
+// exercised by fixtures that would violate the rule if the exemption
+// broke.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"asap/internal/lint/analysis"
+	"asap/internal/lint/loader"
+)
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+type expectation struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads each fixture package (a path relative to testdata/src),
+// applies the analyzer, and reports mismatches on t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	src := filepath.Join(testdata, "src")
+	modName, modDir, err := loader.FindModule(".")
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	ld := loader.New(loader.Config{
+		ModName:      modName,
+		ModDir:       modDir,
+		SrcDirs:      []string{src},
+		IncludeTests: true,
+	})
+	for _, pkg := range pkgs {
+		runPkg(t, ld, filepath.Join(src, filepath.FromSlash(pkg)), a)
+	}
+}
+
+func runPkg(t *testing.T, ld *loader.Loader, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	pkg, err := ld.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("analysistest: load %s: %v", dir, err)
+	}
+
+	// Collect expectations keyed by file:line.
+	want := make(map[string][]*expectation)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := posKey(pos.Filename, pos.Line)
+				for _, raw := range quotedStrings(m[1]) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", key, raw, err)
+					}
+					want[key] = append(want[key], &expectation{re: re, raw: raw})
+				}
+			}
+		}
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("analysistest: %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		key := posKey(pos.Filename, pos.Line)
+		if !claim(want[key], d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	var missed []string
+	for key, exps := range want {
+		for _, e := range exps {
+			if !e.matched {
+				missed = append(missed, fmt.Sprintf("%s: no diagnostic matching %q", key, e.raw))
+			}
+		}
+	}
+	sort.Strings(missed)
+	for _, m := range missed {
+		t.Error(m)
+	}
+}
+
+// claim marks the first unmatched expectation whose pattern matches msg.
+func claim(exps []*expectation, msg string) bool {
+	for _, e := range exps {
+		if !e.matched && e.re.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func posKey(filename string, line int) string {
+	return fmt.Sprintf("%s:%d", filename, line)
+}
+
+// quotedStrings extracts the double-quoted Go string literals from the
+// tail of a want comment.
+func quotedStrings(s string) []string {
+	var out []string
+	for {
+		i := strings.IndexByte(s, '"')
+		if i < 0 {
+			return out
+		}
+		rest := s[i:]
+		// Find the end of this Go string literal, honoring escapes.
+		j := 1
+		for j < len(rest) {
+			if rest[j] == '\\' {
+				j += 2
+				continue
+			}
+			if rest[j] == '"' {
+				break
+			}
+			j++
+		}
+		if j >= len(rest) {
+			return out
+		}
+		if q, err := strconv.Unquote(rest[:j+1]); err == nil {
+			out = append(out, q)
+		}
+		s = rest[j+1:]
+	}
+}

@@ -1,0 +1,12 @@
+package lockio_test
+
+import (
+	"testing"
+
+	"asap/internal/lint/analysistest"
+	"asap/internal/lint/lockio"
+)
+
+func TestLockio(t *testing.T) {
+	analysistest.Run(t, "testdata", lockio.Analyzer, "a")
+}

@@ -1,0 +1,70 @@
+package a
+
+import (
+	"sync"
+
+	"asap/internal/transport"
+)
+
+type node struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	tr   *transport.Client
+	peer string
+}
+
+// bad performs a round-trip inside the critical section.
+func bad(n *node) {
+	n.mu.Lock()
+	_, _ = n.tr.Call(n.peer, nil) // want "transport I/O while holding a mutex"
+	n.mu.Unlock()
+}
+
+// badDefer holds the lock to function end via defer.
+func badDefer(n *node) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.tr.Probe(n.peer) // want "transport I/O while holding a mutex"
+}
+
+// badRead holds a read lock across the probe.
+func badRead(n *node) int {
+	n.rw.RLock()
+	defer n.rw.RUnlock()
+	return n.tr.Probe(n.peer) // want "transport I/O while holding a mutex"
+}
+
+// badBranch reaches the I/O through a nested block.
+func badBranch(n *node, on bool) {
+	n.mu.Lock()
+	if on {
+		_ = n.tr.Serve(n.peer) // want "transport I/O while holding a mutex"
+	}
+	n.mu.Unlock()
+}
+
+// good is the snapshot–probe–commit shape: copy what the request needs
+// under the lock, release it, then do the I/O.
+func good(n *node) {
+	n.mu.Lock()
+	to := n.peer
+	n.mu.Unlock()
+	_, _ = n.tr.Call(to, nil)
+}
+
+// goodRead snapshots under a read lock, then probes unlocked.
+func goodRead(n *node) int {
+	n.rw.RLock()
+	to := n.peer
+	n.rw.RUnlock()
+	return n.tr.Probe(to)
+}
+
+// goodClosure builds a closure under the lock but runs it after
+// releasing: the analyzer does not descend into function literals.
+func goodClosure(n *node) {
+	n.mu.Lock()
+	probe := func() int { return n.tr.Probe(n.peer) }
+	n.mu.Unlock()
+	_ = probe()
+}

@@ -1,0 +1,19 @@
+// Package transport is a fixture stand-in for the real transport layer:
+// the lockio analyzer recognizes I/O by method name on any package whose
+// import path ends in "transport".
+package transport
+
+// Message is a stub wire message.
+type Message struct{}
+
+// Client is a stub transport endpoint.
+type Client struct{}
+
+// Call performs a request/response round-trip.
+func (c *Client) Call(to string, m *Message) (*Message, error) { return m, nil }
+
+// Probe measures a peer.
+func (c *Client) Probe(to string) int { return 0 }
+
+// Serve binds a handler.
+func (c *Client) Serve(addr string) error { return nil }

@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"asap/internal/lint/analysistest"
+	"asap/internal/lint/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, "testdata", maporder.Analyzer, "a")
+}

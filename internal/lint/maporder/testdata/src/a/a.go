@@ -1,0 +1,103 @@
+package a
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"strings"
+)
+
+// badCollect leaks iteration order into the returned slice.
+func badCollect(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "appending to \"keys\" while ranging over a map"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// badPrint writes output in iteration order.
+func badPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want "output written while ranging over a map"
+	}
+}
+
+// badBuilder streams into a strings.Builder in iteration order.
+func badBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want "output written while ranging over a map"
+	}
+	return b.String()
+}
+
+// badNested is still caught when the range sits inside another block.
+func badNested(m map[string]int, on bool) []string {
+	var keys []string
+	if on {
+		for k := range m { // want "appending to \"keys\" while ranging over a map"
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// goodSorted is the canonical deterministic idiom: collect, then sort.
+func goodSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// goodSlices sorts with the slices package instead.
+func goodSlices(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// goodAggregate folds a commutative reduction; order cannot leak.
+func goodAggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// goodCopy rebuilds a map; maps have no order to leak.
+func goodCopy(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// goodLocal appends to a slice scoped inside the loop body, which is
+// rebuilt every iteration and cannot carry order across iterations.
+func goodLocal(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// goodSlice ranges a slice, not a map; order is the slice's own.
+func goodSlice(keys []string) []string {
+	var out []string
+	for _, k := range keys {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package schedgo_test
+
+import (
+	"testing"
+
+	"asap/internal/lint/analysistest"
+	"asap/internal/lint/schedgo"
+)
+
+func TestSchedgo(t *testing.T) {
+	analysistest.Run(t, "testdata", schedgo.Analyzer, "a", "asap/internal/sim")
+}

@@ -1,0 +1,27 @@
+package a
+
+import "sync"
+
+// Sched mimics the sim.Scheduler spawn surface.
+type Sched interface {
+	Go(fn func())
+	Join(limit int, fns ...func())
+}
+
+// bad spawns goroutines the scheduler cannot account for.
+func bad(fn func()) {
+	go fn() // want "bare go statement"
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "bare go statement"
+		defer wg.Done()
+		fn()
+	}()
+	wg.Wait()
+}
+
+// good routes every spawn through the scheduler.
+func good(s Sched, fn func()) {
+	s.Go(fn)
+	s.Join(2, fn, fn)
+}

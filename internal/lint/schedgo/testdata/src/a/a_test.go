@@ -1,0 +1,10 @@
+package a
+
+import "testing"
+
+// Test files are exempt: wall-mode tests need genuine concurrency.
+func TestBareGoAllowed(t *testing.T) {
+	done := make(chan struct{})
+	go close(done)
+	<-done
+}

@@ -1,0 +1,12 @@
+package schedtime_test
+
+import (
+	"testing"
+
+	"asap/internal/lint/analysistest"
+	"asap/internal/lint/schedtime"
+)
+
+func TestSchedtime(t *testing.T) {
+	analysistest.Run(t, "testdata", schedtime.Analyzer, "a", "asap/internal/sim")
+}

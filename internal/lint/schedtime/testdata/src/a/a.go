@@ -1,0 +1,30 @@
+package a
+
+import (
+	"time"
+
+	aliased "time"
+)
+
+// bad exercises every banned call, including through an aliased import
+// (which the old grep gate missed).
+func bad(d time.Duration) {
+	time.Sleep(d)                // want "time.Sleep in internal/ code"
+	_ = time.Now()               // want "time.Now in internal/ code"
+	_ = time.Since(time.Time{})  // want "time.Since in internal/ code"
+	_ = time.After(d)            // want "time.After in internal/ code"
+	time.AfterFunc(d, func() {}) // want "time.AfterFunc in internal/ code"
+	_ = time.NewTimer(d)         // want "time.NewTimer in internal/ code"
+	_ = time.NewTicker(d)        // want "time.NewTicker in internal/ code"
+	_ = time.Tick(d)             // want "time.Tick in internal/ code"
+	aliased.Sleep(d)             // want "time.Sleep in internal/ code"
+}
+
+// good uses the time package only for types, constants and conversions,
+// which stay legal: they do not couple the caller to wall time.
+func good(d time.Duration) time.Duration {
+	if d < 50*time.Millisecond {
+		return time.Second
+	}
+	return d.Round(time.Millisecond)
+}

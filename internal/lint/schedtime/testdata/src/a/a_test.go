@@ -1,0 +1,13 @@
+package a
+
+import (
+	"testing"
+	"time"
+)
+
+// Test files are exempt: wall-mode regression tests sleep for real
+// (DESIGN.md §10). Nothing here may be flagged.
+func TestRealSleep(t *testing.T) {
+	time.Sleep(time.Millisecond)
+	_ = time.Now()
+}

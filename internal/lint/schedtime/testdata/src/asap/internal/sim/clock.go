@@ -1,0 +1,9 @@
+package sim
+
+import "time"
+
+// The wall.go exemption is file-scoped, not package-scoped: a sibling
+// file in internal/sim is still checked.
+func tick(d time.Duration) {
+	time.Sleep(d) // want "time.Sleep in internal/ code"
+}

@@ -1,0 +1,12 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"asap/internal/lint/analysistest"
+	"asap/internal/lint/seededrand"
+)
+
+func TestSeededrand(t *testing.T) {
+	analysistest.Run(t, "testdata", seededrand.Analyzer, "a")
+}

@@ -1,0 +1,28 @@
+package a
+
+import (
+	"math/rand"
+	"time"
+
+	mr "math/rand"
+)
+
+// bad draws from the process-global generator and seeds from the wall
+// clock — both break seed reproducibility.
+func bad() {
+	_ = rand.Intn(10)                         // want "global math/rand.Intn"
+	_ = rand.Float64()                        // want "global math/rand.Float64"
+	_ = rand.Perm(5)                          // want "global math/rand.Perm"
+	rand.Shuffle(2, func(i, j int) {})        // want "global math/rand.Shuffle"
+	rand.Seed(1)                              // want "global math/rand.Seed"
+	_ = mr.Int63()                            // want "global math/rand.Int63"
+	_ = rand.NewSource(time.Now().UnixNano()) // want "seeded from the wall clock"
+}
+
+// good derives a private generator from an explicit deterministic seed
+// (in real code: sim.SubSeed).
+func good(seed int64) *rand.Rand {
+	rng := rand.New(rand.NewSource(seed))
+	_ = rng.Intn(10)
+	return rng
+}

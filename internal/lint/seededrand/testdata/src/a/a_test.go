@@ -1,0 +1,11 @@
+package a
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Test files are exempt; nothing here may be flagged.
+func TestGlobalRandAllowed(t *testing.T) {
+	_ = rand.Intn(10)
+}

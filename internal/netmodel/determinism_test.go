@@ -1,0 +1,44 @@
+package netmodel
+
+import (
+	"testing"
+	"time"
+
+	"asap/internal/asgraph"
+)
+
+// TestCongestedASesDeterministic is the regression test for the maporder
+// fix in CongestedASes: the impairment set lives in a map, and before
+// the fix the method returned the ASes in Go's randomized iteration
+// order, so two identical runs could report congestion in different
+// orders. The fixed method must return ascending ASNs, byte-identical
+// on every call. Repeated calls are a real probe: Go re-randomizes map
+// iteration on every range, so an unsorted implementation fails this
+// test with high probability.
+func TestCongestedASesDeterministic(t *testing.T) {
+	m, _ := testModel(t, 120, 300, 7, DefaultConfig())
+	// Insertion order deliberately not ascending.
+	for _, asn := range []asgraph.ASN{40, 7, 99, 3, 61, 88, 15, 52, 26, 74} {
+		m.SetCondition(asn, Condition{ExtraOneWay: 25 * time.Millisecond})
+	}
+	first := m.CongestedASes()
+	if len(first) != 10 {
+		t.Fatalf("got %d congested ASes, want 10", len(first))
+	}
+	for i := 1; i < len(first); i++ {
+		if first[i-1] >= first[i] {
+			t.Fatalf("CongestedASes not in ascending order: %v", first)
+		}
+	}
+	for trial := 0; trial < 50; trial++ {
+		got := m.CongestedASes()
+		if len(got) != len(first) {
+			t.Fatalf("trial %d: length changed: %v vs %v", trial, got, first)
+		}
+		for i := range got {
+			if got[i] != first[i] {
+				t.Fatalf("trial %d: order changed: %v vs %v", trial, got, first)
+			}
+		}
+	}
+}

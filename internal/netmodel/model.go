@@ -12,6 +12,7 @@ package netmodel
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -308,7 +309,10 @@ func (m *Model) Condition(asn asgraph.ASN) (Condition, bool) {
 	return c, ok
 }
 
-// CongestedASes returns every AS with an injected impairment.
+// CongestedASes returns every AS with an injected impairment, in
+// ascending ASN order: the set lives in a map, and handing callers the
+// randomized iteration order would leak nondeterminism into any report
+// or decision built from it.
 func (m *Model) CongestedASes() []asgraph.ASN {
 	m.condMu.RLock()
 	defer m.condMu.RUnlock()
@@ -316,6 +320,7 @@ func (m *Model) CongestedASes() []asgraph.ASN {
 	for asn := range m.conditions {
 		out = append(out, asn)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

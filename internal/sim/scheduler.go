@@ -16,8 +16,8 @@ import (
 //     byte-identical output for a given seed.
 //   - *Wall (real): the adapter over the time package used by the live
 //     daemon. It is the only place in internal/ allowed to call
-//     time.Sleep / time.AfterFunc / time.NewTimer (grep-enforced by
-//     `make timecheck`).
+//     time.Sleep / time.AfterFunc / time.NewTimer / time.Now (enforced
+//     by the schedtime analyzer in asaplint; `make lint`).
 //
 // Times are expressed as offsets from the scheduler's origin
 // (time.Duration), never as absolute time.Time values: durations compare

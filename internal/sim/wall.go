@@ -1,8 +1,8 @@
 package sim
 
 // Wall is the real-time Scheduler adapter. It is the ONLY file in
-// internal/ permitted to call time.Sleep / time.AfterFunc /
-// time.NewTimer (the `make timecheck` grep gate enforces this): every
+// internal/ permitted to call the time package's scheduling and clock
+// functions (the schedtime analyzer in asaplint enforces this): every
 // other layer takes a Scheduler, so the same protocol code runs on the
 // virtual clock in simulation and on this adapter in the live daemon.
 

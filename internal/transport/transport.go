@@ -155,6 +155,11 @@ type TCP struct {
 	mu        sync.Mutex
 	listeners []net.Listener
 	wg        sync.WaitGroup
+	// Sched spawns the accept-loop and per-connection goroutines. Nil
+	// means the shared wall adapter: the TCP transport only exists in
+	// live deployments, but routing through a Scheduler keeps every
+	// goroutine in internal/ accounted for (DESIGN.md §9).
+	Sched sim.Scheduler
 	// DialTimeout bounds connection setup (default 5s).
 	DialTimeout time.Duration
 	// CallTimeout bounds the full request/response exchange after connect
@@ -169,6 +174,13 @@ func NewTCP() *TCP {
 	return &TCP{DialTimeout: 5 * time.Second, CallTimeout: 10 * time.Second}
 }
 
+func (t *TCP) sched() sim.Scheduler {
+	if t.Sched != nil {
+		return t.Sched
+	}
+	return wallFallback
+}
+
 // Serve implements Transport: it listens on addr (e.g. "127.0.0.1:0")
 // and dispatches each inbound request to h.
 func (t *TCP) Serve(addr Addr, h Handler) (Addr, error) {
@@ -181,7 +193,7 @@ func (t *TCP) Serve(addr Addr, h Handler) (Addr, error) {
 	t.mu.Unlock()
 
 	t.wg.Add(1)
-	go func() {
+	t.sched().Go(func() {
 		defer t.wg.Done()
 		for {
 			conn, err := ln.Accept()
@@ -189,12 +201,13 @@ func (t *TCP) Serve(addr Addr, h Handler) (Addr, error) {
 				return // listener closed
 			}
 			t.wg.Add(1)
-			go func() {
+			t.sched().Go(func() {
 				defer t.wg.Done()
 				defer func() { _ = conn.Close() }()
 				// A client that connects and never sends (or never drains
 				// the response) must not pin this goroutine past Close.
 				if t.CallTimeout > 0 {
+					//lint:allow schedtime net.Conn deadlines are absolute wall-clock instants; the Scheduler's relative clock cannot express them
 					_ = conn.SetDeadline(time.Now().Add(t.CallTimeout))
 				}
 				req, err := readFrame(conn)
@@ -206,9 +219,9 @@ func (t *TCP) Serve(addr Addr, h Handler) (Addr, error) {
 					resp = &Message{Type: MsgError, Error: err.Error()}
 				}
 				_ = writeFrame(conn, resp)
-			}()
+			})
 		}
-	}()
+	})
 	return Addr(ln.Addr().String()), nil
 }
 
@@ -220,6 +233,7 @@ func (t *TCP) Call(to Addr, req *Message) (*Message, error) {
 	}
 	defer func() { _ = conn.Close() }()
 	if t.CallTimeout > 0 {
+		//lint:allow schedtime net.Conn deadlines are absolute wall-clock instants; the Scheduler's relative clock cannot express them
 		_ = conn.SetDeadline(time.Now().Add(t.CallTimeout))
 	}
 	// Frame-level failures (peer died mid-exchange, deadline hit) count as
