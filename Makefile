@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt staticcheck govulncheck lint bench bench-parallel bench-virtualtime timecheck test-experiments profile chaos check print-staticcheck-version print-govulncheck-version
+.PHONY: build test race vet fmt staticcheck govulncheck lint bench bench-parallel bench-virtualtime bench-dataplane timecheck test-experiments profile chaos check print-staticcheck-version print-govulncheck-version
 
 build:
 	$(GO) build ./...
@@ -87,6 +87,15 @@ bench-parallel:
 # tracked numbers live in results/BENCH_virtualtime.md.
 bench-virtualtime:
 	$(GO) test -run '^$$' -bench 'ChurnVirtualTime|StabilizationVirtualTime' -benchtime 5x -count 3 .
+
+# bench-dataplane measures the voice data plane (DESIGN.md §12):
+# datagram throughput through the in-memory packet network (packets/s)
+# and the full 4x4 NAT traversal matrix, which reports punch success
+# rate and p99 punch latency as benchmark metrics. The latency metrics
+# run on the virtual clock and are identical on every machine; CI
+# publishes the output as the BENCH_dataplane.json artifact.
+bench-dataplane:
+	$(GO) test -run '^$$' -bench 'DataplaneVoiceThroughput|DataplaneTraversalMatrix' -benchtime 1000x -count 3 .
 
 # timecheck is kept as an alias for muscle memory: the old grep gate was
 # replaced by the schedtime analyzer in asaplint, which also catches

@@ -40,6 +40,25 @@
 // accepts drop=P, drop@ADDR=P, lat=D, lat@ADDR=D, blackhole@ADDR,
 // fail@ADDR=N and outage@ADDR=D, comma-separated; faults apply to this
 // process's outbound calls only.
+//
+// Voice data plane: -media-listen enables real UDP voice flows next to
+// the TCP control plane. Each call opens its own UDP socket, discovers
+// its external address via the -stun server, and climbs the traversal
+// ladder (direct -> hole-punched -> relayed via -media-relay). The
+// bootstrap can host the discovery/relay services with -stun-listen and
+// -relay-listen. A minimal two-process call over loopback:
+//
+//	asapd -role bootstrap -listen 127.0.0.1:7000 \
+//	      -stun-listen 127.0.0.1:7478 -relay-listen 127.0.0.1:7479
+//	asapd -role peer -listen 127.0.0.1:7001 -ip 10.100.0.1 -bootstrap 127.0.0.1:7000 \
+//	      -media-listen 127.0.0.1 -stun 127.0.0.1:7478 -media-relay 127.0.0.1:7479
+//	asapd -role peer -listen 127.0.0.1:7002 -ip 10.200.0.1 -bootstrap 127.0.0.1:7000 \
+//	      -media-listen 127.0.0.1 -stun 127.0.0.1:7478 -media-relay 127.0.0.1:7479 \
+//	      -call 127.0.0.1:7001 -say "hello over asap"
+//
+// With -session the voice stream keeps running for the whole call, its
+// receiver-side loss/jitter feeds the session monitor's MOS, and media
+// statistics appear in the status lines and the final report.
 package main
 
 import (
@@ -57,6 +76,7 @@ import (
 	"asap/internal/session"
 	"asap/internal/sim"
 	"asap/internal/transport"
+	"asap/internal/transport/udp"
 )
 
 func main() {
@@ -82,6 +102,14 @@ func run(args []string) error {
 		lease     = fs.Duration("lease", 30*time.Second, "bootstrap: surrogate lease TTL (0 = registrations never expire)")
 		chaosSpec = fs.String("chaos", "", "inject faults into outbound calls, e.g. \"drop=0.05,lat=20ms,blackhole@HOST:PORT\"")
 		chaosSeed = fs.Int64("chaos-seed", 1, "seed for -chaos fault randomness")
+
+		// Voice data plane (real UDP).
+		stunListen  = fs.String("stun-listen", "", "bootstrap: run a STUN discovery server on this UDP address")
+		relayListen = fs.String("relay-listen", "", "bootstrap: run a voice relay on this UDP address")
+		mediaHost   = fs.String("media-listen", "", "peer: enable the UDP voice data plane; media sockets bind on this host")
+		stunAddr    = fs.String("stun", "", "peer: STUN server for media address discovery (required with -media-listen)")
+		mediaRelay  = fs.String("media-relay", "", "peer: voice relay for the traversal ladder's last rung")
+		mediaRate   = fs.Duration("media-rate", 20*time.Millisecond, "peer: voice packet spacing for the media stream")
 
 		// Live session monitoring (peer role, with -call).
 		monitored = fs.Bool("session", false, "peer: keep the -call open under the session monitor (quality probes, keepalives, failover)")
@@ -121,6 +149,24 @@ func run(args []string) error {
 		}
 		fmt.Printf("asapd bootstrap listening on %s (%d prefixes, %d ASes)\n",
 			bs.Addr(), len(cfg.Prefixes), cfg.Graph.NumNodes())
+		if *stunListen != "" || *relayListen != "" {
+			live := udp.NewLive()
+			defer func() { _ = live.Close() }()
+			if *stunListen != "" {
+				st, err := udp.NewSTUNServer(live, transport.Addr(*stunListen))
+				if err != nil {
+					return err
+				}
+				fmt.Printf("  stun server on %s\n", st.Addr())
+			}
+			if *relayListen != "" {
+				rl, err := udp.NewRelayServer(live, transport.Addr(*relayListen))
+				if err != nil {
+					return err
+				}
+				fmt.Printf("  voice relay on %s\n", rl.Addr())
+			}
+		}
 		waitForSignal()
 		return nil
 
@@ -142,6 +188,21 @@ func run(args []string) error {
 		defer node.Close()
 		fmt.Printf("asapd peer %s joined: cluster %s, surrogate=%v\n",
 			node.Addr(), node.ClusterKey(), node.IsSurrogate())
+
+		if *mediaHost != "" {
+			if *stunAddr == "" {
+				return fmt.Errorf("-media-listen needs -stun")
+			}
+			live := udp.NewLive()
+			defer func() { _ = live.Close() }()
+			if err := node.EnableMedia(core.MediaConfig{
+				Net: live, ListenHost: *mediaHost,
+				STUN: transport.Addr(*stunAddr), Relay: transport.Addr(*mediaRelay),
+			}); err != nil {
+				return err
+			}
+			fmt.Printf("  media plane enabled on %s (stun %s)\n", *mediaHost, *stunAddr)
+		}
 
 		if *call != "" {
 			if *wait > 0 {
@@ -168,7 +229,22 @@ func run(args []string) error {
 				return fmt.Errorf("voice: %w", err)
 			}
 			fmt.Printf("  delivered %d voice bytes\n", len(*say))
+			var mc *core.MediaCall
+			if *mediaHost != "" {
+				mc, err = node.SetupMedia(transport.Addr(*call))
+				if err != nil {
+					return fmt.Errorf("media setup: %w", err)
+				}
+				fmt.Printf("  media path: %s (external %s, peer %s)\n",
+					mc.Path(), mc.External(), mc.Flow().Peer())
+			}
 			if !*monitored {
+				if mc != nil {
+					// Short unmonitored calls still prove the media path:
+					// stream one second of voice and report what arrived.
+					streamBurst(mc, []byte(*say), *mediaRate, time.Second)
+					printMediaStats(mc)
+				}
 				return nil
 			}
 			cfg := session.DefaultConfig()
@@ -176,7 +252,7 @@ func run(args []string) error {
 			cfg.KeepaliveInterval = *kaIvl
 			cfg.SwitchMargin = *margin
 			cfg.SwitchConsecutive = *consec
-			return runMonitoredCall(node, transport.Addr(*call), choice, cfg, *callFor, *statusIvl)
+			return runMonitoredCall(node, transport.Addr(*call), choice, cfg, *callFor, *statusIvl, mc, []byte(*say), *mediaRate)
 		}
 		waitForSignal()
 		return nil
@@ -261,10 +337,12 @@ func bootstrapConfig(prefixes, links string) (core.BootstrapConfig, error) {
 
 // runMonitoredCall keeps a placed call alive under the session monitor:
 // quality probes against the active path and setup-time backups, relay
-// keepalives with failover, and live status lines. It returns after
-// -call-duration or on SIGINT/SIGTERM, closing the session and printing
-// its final report either way (graceful shutdown).
-func runMonitoredCall(node *core.Node, callee transport.Addr, choice *core.RelayChoice, cfg session.Config, dur, statusIvl time.Duration) error {
+// keepalives with failover, and live status lines. When a media call is
+// up, voice streams on it for the whole session and its receiver-side
+// loss/jitter feeds the monitor's MOS. It returns after -call-duration
+// or on SIGINT/SIGTERM, closing the session and printing its final
+// report either way (graceful shutdown).
+func runMonitoredCall(node *core.Node, callee transport.Addr, choice *core.RelayChoice, cfg session.Config, dur, statusIvl time.Duration, mc *core.MediaCall, payload []byte, rate time.Duration) error {
 	var flowID uint64
 	if choice.Relay != "" {
 		id, err := node.EnsureFlow(choice.Relay, callee)
@@ -307,6 +385,25 @@ func runMonitoredCall(node *core.Node, callee transport.Addr, choice *core.Relay
 	if err != nil {
 		return err
 	}
+	if mc != nil {
+		sess.AttachMedia(mc.MediaSource())
+		stopStream := make(chan struct{})
+		defer close(stopStream)
+		go func() {
+			t := time.NewTicker(rate)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopStream:
+					return
+				case <-t.C:
+					if err := mc.Flow().SendVoice(payload); err != nil {
+						return
+					}
+				}
+			}
+		}()
+	}
 	mgr.Start()
 	fmt.Printf("  session %d open (probe %v, keepalive %v, detection window %v)\n",
 		sess.ID(), cfg.ProbeInterval, cfg.KeepaliveInterval, cfg.DetectionWindow())
@@ -330,15 +427,50 @@ func runMonitoredCall(node *core.Node, callee transport.Addr, choice *core.Relay
 			for _, st := range mgr.Snapshot() {
 				fmt.Println(" ", st)
 			}
+			if mc != nil {
+				printMediaStats(mc)
+			}
 		case sig := <-sigCh:
 			fmt.Printf("  %s: closing sessions\n", sig)
 			printReports(mgr.Close())
+			if mc != nil {
+				printMediaStats(mc)
+			}
 			return nil
 		case <-endCh:
 			printReports(mgr.Close())
+			if mc != nil {
+				printMediaStats(mc)
+			}
 			return nil
 		}
 	}
+}
+
+// streamBurst sends voice on the media call at the given spacing for
+// roughly the given duration.
+func streamBurst(mc *core.MediaCall, payload []byte, rate, dur time.Duration) {
+	t := time.NewTicker(rate)
+	defer t.Stop()
+	end := time.After(dur)
+	for {
+		select {
+		case <-end:
+			return
+		case <-t.C:
+			if err := mc.Flow().SendVoice(payload); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// printMediaStats reports the media call's send/receive accounting.
+func printMediaStats(mc *core.MediaCall) {
+	st := mc.Flow().Stats()
+	fmt.Printf("  media %s: sent %d, received %d (%d bytes), lost %d (%.1f%%), reordered %d, jitter %v\n",
+		mc.Path(), mc.Flow().Sent(), st.Packets, st.Bytes, st.Lost, 100*st.Loss(), st.Reordered,
+		st.Jitter.Round(time.Microsecond))
 }
 
 func toCandidates(ranked []core.RelayCandidate) []session.Candidate {

@@ -9,6 +9,7 @@ import (
 	"asap/internal/asgraph"
 	"asap/internal/sim"
 	"asap/internal/transport"
+	"asap/internal/transport/udp"
 )
 
 // wallSched is the shared real-time scheduler for actors built without an
@@ -92,6 +93,14 @@ type Node struct {
 	// quality holds the latest in-call quality report from each peer
 	// (listener-observed RTT and loss), feeding the session monitor.
 	quality map[transport.Addr]QualityReport
+	// Voice data plane (media.go): per-call UDP endpoint, its wiring, the
+	// next media port offset, live calls by flow token, and the token
+	// sequence.
+	media      *udp.Endpoint
+	mediaCfg   MediaConfig
+	mediaPorts int
+	mediaCalls map[uint32]*MediaCall
+	mediaSeq   uint32
 }
 
 // flowKey identifies an outbound relay flow: which relay, toward whom.
@@ -516,6 +525,9 @@ func (n *Node) handle(from transport.Addr, req *transport.Message) (*transport.M
 			return nil, fmt.Errorf("core: relay probe: callee leg: %w", err)
 		}
 		return &transport.Message{Type: transport.MsgRelayProbeReply, RTT: rtt}, nil
+
+	case transport.MsgMediaSetup:
+		return n.handleMediaSetup(from, req)
 
 	case transport.MsgQualityReport:
 		n.mu.Lock()

@@ -1,11 +1,14 @@
 // Package lockio protects the snapshot–probe–commit invariant from the
 // concurrency refactor (DESIGN.md §9): transport I/O — Call, Probe,
-// Serve on the transport layer — must never happen while a sync.Mutex or
-// sync.RWMutex is held. Holding a node's lock across a network
-// round-trip serializes the probe path, and under the in-memory
-// transport it can deadlock the virtual clock (the handler may need the
-// same lock to answer). The legal shape is: lock, snapshot the state the
-// request needs, unlock, do the I/O, re-lock, validate and commit.
+// Serve on the transport layer, and the datagram plane's WriteTo,
+// ReadFrom and ListenPacket (including raw net sockets) — must never
+// happen while a sync.Mutex or sync.RWMutex is held. Holding a node's
+// lock across a network round-trip serializes the probe path, and under
+// the in-memory transport it can deadlock the virtual clock (the handler
+// may need the same lock to answer); a datagram send under a lock stalls
+// every packet handler contending for it. The legal shape is: lock,
+// snapshot the state the request needs, unlock, do the I/O, re-lock,
+// validate and commit.
 //
 // The analysis is a per-function, source-order over-approximation: a
 // lock counts as held from a Lock/RLock call until the matching
@@ -47,7 +50,12 @@ var unlockMethods = map[string]bool{
 
 // ioMethods are the transport-layer entry points that perform network
 // round-trips (or bind sockets) and must run outside critical sections.
-var ioMethods = map[string]bool{"Call": true, "Probe": true, "Serve": true}
+// Call/Probe/Serve are the RPC plane; WriteTo/ReadFrom/ListenPacket are
+// the datagram plane (transport.PacketConn, udp sockets, raw net).
+var ioMethods = map[string]bool{
+	"Call": true, "Probe": true, "Serve": true,
+	"WriteTo": true, "ReadFrom": true, "ListenPacket": true,
+}
 
 func run(pass *analysis.Pass) (interface{}, error) {
 	for _, f := range pass.Files {
@@ -201,14 +209,16 @@ func heldNames(held map[string]bool) string {
 	return strings.Join(names, ", ")
 }
 
-// isTransportIO reports whether call is a Call/Probe/Serve on the
-// transport layer (a package whose import path ends in "transport"),
-// either a method on a transport type or the Transport interface.
+// isTransportIO reports whether call is one of the I/O methods on the
+// transport layer (a package whose import path ends in "transport" or
+// "transport/udp") or on the standard net package (raw UDP sockets) —
+// either a method on a concrete type or an interface method.
 func isTransportIO(pass *analysis.Pass, call *ast.CallExpr) bool {
 	fn := lintutil.Callee(pass.TypesInfo, call)
 	if fn == nil || !ioMethods[fn.Name()] || fn.Pkg() == nil {
 		return false
 	}
 	p := fn.Pkg().Path()
-	return p == "transport" || strings.HasSuffix(p, "/transport")
+	return p == "net" || p == "transport" ||
+		strings.HasSuffix(p, "/transport") || strings.HasSuffix(p, "/transport/udp")
 }

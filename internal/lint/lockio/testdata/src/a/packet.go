@@ -1,0 +1,75 @@
+package a
+
+import (
+	"net"
+	"sync"
+
+	"asap/internal/transport"
+	"asap/internal/transport/udp"
+)
+
+// The datagram plane obeys the same discipline as the RPC plane: no
+// sends, reads or socket binds while a mutex is held.
+
+type relay struct {
+	mu    sync.Mutex
+	pc    *transport.PacketConn
+	uc    *udp.Conn
+	tr    *transport.Client
+	peers map[string]string
+	buf   []byte
+}
+
+// badPacketWrite fires a datagram inside the critical section.
+func badPacketWrite(r *relay, data []byte) {
+	r.mu.Lock()
+	_ = r.pc.WriteTo(r.peers["a"], data) // want "transport I/O while holding a mutex"
+	r.mu.Unlock()
+}
+
+// badUDPWrite sends on a live UDP socket under a deferred unlock.
+func badUDPWrite(r *relay, data []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.uc.WriteTo(r.peers["a"], data) // want "transport I/O while holding a mutex"
+}
+
+// badUDPRead blocks for a datagram while holding the lock.
+func badUDPRead(r *relay) {
+	r.mu.Lock()
+	_, _, _ = r.uc.ReadFrom(r.buf) // want "transport I/O while holding a mutex"
+	r.mu.Unlock()
+}
+
+// badListen binds a socket inside the critical section.
+func badListen(r *relay) {
+	r.mu.Lock()
+	_, _ = r.tr.ListenPacket("127.0.0.1:0") // want "transport I/O while holding a mutex"
+	r.mu.Unlock()
+}
+
+// badNetListen binds a raw kernel socket inside the critical section.
+func badNetListen(r *relay) {
+	r.mu.Lock()
+	_, _ = net.ListenPacket("udp", "127.0.0.1:0") // want "transport I/O while holding a mutex"
+	r.mu.Unlock()
+}
+
+// goodPacketWrite is the snapshot-unlock-send shape the relay uses: pick
+// the destination under the lock, release it, then fire.
+func goodPacketWrite(r *relay, data []byte) {
+	r.mu.Lock()
+	dst := r.peers["a"]
+	r.mu.Unlock()
+	_ = r.pc.WriteTo(dst, data)
+}
+
+// goodDeferredSend builds the send closure under the lock but runs it
+// after releasing.
+func goodDeferredSend(r *relay, data []byte) {
+	r.mu.Lock()
+	dst := r.peers["a"]
+	send := func() { _ = r.uc.WriteTo(dst, data) }
+	r.mu.Unlock()
+	send()
+}

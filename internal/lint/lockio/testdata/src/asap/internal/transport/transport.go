@@ -17,3 +17,12 @@ func (c *Client) Probe(to string) int { return 0 }
 
 // Serve binds a handler.
 func (c *Client) Serve(addr string) error { return nil }
+
+// PacketConn is a stub datagram socket.
+type PacketConn struct{}
+
+// WriteTo fires one datagram.
+func (p *PacketConn) WriteTo(to string, data []byte) error { return nil }
+
+// ListenPacket binds a datagram socket.
+func (c *Client) ListenPacket(addr string) (*PacketConn, error) { return nil, nil }

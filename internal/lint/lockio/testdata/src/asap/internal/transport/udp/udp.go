@@ -1,0 +1,13 @@
+// Package udp is a fixture stand-in for the real UDP data plane: the
+// lockio analyzer recognizes datagram I/O on any package whose import
+// path ends in "transport/udp".
+package udp
+
+// Conn is a stub live UDP socket.
+type Conn struct{}
+
+// WriteTo fires one datagram.
+func (c *Conn) WriteTo(to string, data []byte) error { return nil }
+
+// ReadFrom blocks for one datagram.
+func (c *Conn) ReadFrom(buf []byte) (int, string, error) { return 0, "", nil }

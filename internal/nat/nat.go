@@ -1,0 +1,343 @@
+// Package nat is a deterministic NAT emulator for the voice data plane.
+// A Box sits between private sockets and a public packet network and
+// implements transport.PacketNetwork itself, so the udp endpoint code
+// runs unmodified behind it — the same composition trick as
+// transport.Chaos, but modelling address translation instead of faults.
+//
+// The model follows the classic STUN taxonomy (RFC 3489) on two axes:
+//
+//	mapping:   cone (one external port per private socket) vs
+//	           symmetric (one external port per (socket, destination))
+//	filtering: none (full cone), address-restricted, or
+//	           address-and-port-restricted
+//
+// composed into the four familiar behaviours — FullCone, AddrRestricted,
+// PortRestricted, Symmetric. External ports are allocated sequentially,
+// so a given program order yields identical mappings on every run: the
+// emulator is fully deterministic, which the two-run byte-identical
+// traversal tests rely on.
+package nat
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"asap/internal/transport"
+)
+
+// Type is a NAT behaviour: a (mapping, filtering) pair from the RFC 3489
+// taxonomy.
+type Type int
+
+// The four classic NAT behaviours, in increasing order of hostility to
+// traversal.
+const (
+	// FullCone: one mapping per socket, no inbound filtering — anyone
+	// who learns the external address can send to it.
+	FullCone Type = iota
+	// AddrRestricted: inbound allowed only from IPs the socket has sent
+	// to (any port).
+	AddrRestricted
+	// PortRestricted: inbound allowed only from exact address:port pairs
+	// the socket has sent to.
+	PortRestricted
+	// Symmetric: a fresh external port per destination, plus
+	// port-restricted filtering. Observers see different ports, so
+	// nothing they exchange predicts the mapping a new destination gets —
+	// the case that defeats hole punching.
+	Symmetric
+)
+
+// Types lists all behaviours in order, for matrix tests.
+var Types = []Type{FullCone, AddrRestricted, PortRestricted, Symmetric}
+
+// String renders the type for logs and reports.
+func (t Type) String() string {
+	switch t {
+	case FullCone:
+		return "full-cone"
+	case AddrRestricted:
+		return "addr-restricted"
+	case PortRestricted:
+		return "port-restricted"
+	case Symmetric:
+		return "symmetric"
+	default:
+		return fmt.Sprintf("nat(%d)", int(t))
+	}
+}
+
+// ParseType parses a behaviour name as printed by String.
+func ParseType(s string) (Type, error) {
+	for _, t := range Types {
+		if t.String() == s {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("nat: unknown type %q", s)
+}
+
+// Box emulates one NAT device. Private sockets bind through
+// ListenPacket; their datagrams egress onto the outer network from
+// sequentially allocated external addresses, and inbound datagrams are
+// mapped back (or filtered) per the configured behaviour.
+type Box struct {
+	typ   Type
+	outer transport.PacketNetwork
+	// extHost is the public IP the box owns, e.g. "198.51.100.7". Every
+	// external mapping binds "extHost:port" on the outer network.
+	extHost string
+
+	mu       sync.Mutex
+	nextPort int
+	// byPriv finds a socket's mappings: cone NATs keep one per socket,
+	// symmetric NATs one per (socket, destination).
+	byPriv map[*boxConn]map[transport.Addr]*mapping
+	closed bool
+}
+
+// mapping is one external port owned by one private socket (for one
+// destination, when symmetric).
+type mapping struct {
+	owner *boxConn
+	ext   transport.PacketConn
+	// sentTo records outbound destinations for filtering: full set of
+	// addr:port strings, plus the bare-host set for address-restricted
+	// matching.
+	sentTo      map[transport.Addr]bool
+	sentToHosts map[string]bool
+}
+
+// New builds a NAT box of behaviour typ in front of outer. extHost is
+// the box's public IP; external mappings bind extHost:port on outer with
+// ports allocated sequentially from basePort.
+func New(typ Type, outer transport.PacketNetwork, extHost string, basePort int) *Box {
+	return &Box{
+		typ:      typ,
+		outer:    outer,
+		extHost:  extHost,
+		nextPort: basePort,
+		byPriv:   make(map[*boxConn]map[transport.Addr]*mapping),
+	}
+}
+
+// Type returns the box's behaviour.
+func (b *Box) Type() Type { return b.typ }
+
+// ListenPacket implements transport.PacketNetwork for the private side.
+// addr is the private address ("" or host:0 auto-assigns); h receives
+// datagrams that survive the box's inbound filter, with the sender's
+// *public* address — exactly what a real NATed socket observes.
+func (b *Box) ListenPacket(addr transport.Addr, h transport.PacketHandler) (transport.PacketConn, error) {
+	if h == nil {
+		return nil, fmt.Errorf("nat: ListenPacket needs a handler")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, fmt.Errorf("nat: box closed")
+	}
+	c := &boxConn{box: b, local: addr, h: h}
+	b.byPriv[c] = make(map[transport.Addr]*mapping)
+	return c, nil
+}
+
+// Close tears down the box and every external mapping.
+func (b *Box) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	var exts []transport.PacketConn
+	for _, ms := range b.byPriv {
+		exts = append(exts, extConns(ms)...)
+	}
+	// Deterministic teardown order, like everything else in the emulator.
+	sort.Slice(exts, func(i, j int) bool { return exts[i].LocalAddr() < exts[j].LocalAddr() })
+	b.byPriv = nil
+	b.mu.Unlock()
+	for _, e := range exts {
+		_ = e.Close()
+	}
+	return nil
+}
+
+// extConns collects one socket's external conns in sorted address order.
+func extConns(ms map[transport.Addr]*mapping) []transport.PacketConn {
+	var out []transport.PacketConn
+	for _, m := range ms {
+		out = append(out, m.ext)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].LocalAddr() < out[j].LocalAddr() })
+	return out
+}
+
+// Mappings reports the box's live external addresses in sorted order —
+// a diagnostic for tests and the determinism harness.
+func (b *Box) Mappings() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []string
+	for _, ms := range b.byPriv {
+		for _, e := range extConns(ms) {
+			out = append(out, string(e.LocalAddr()))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// mappingKey picks the map key for a destination: cone NATs reuse one
+// mapping for every destination, symmetric NATs allocate per
+// destination.
+func (b *Box) mappingKey(dst transport.Addr) transport.Addr {
+	if b.typ == Symmetric {
+		return dst
+	}
+	return "" // one shared mapping
+}
+
+// mappingFor returns (allocating if needed) the external mapping conn c
+// uses toward dst, and records dst in the mapping's send history.
+// Called with b.mu held; allocation does outer I/O, so the lock is
+// dropped around it and the race re-checked.
+func (b *Box) mappingFor(c *boxConn, dst transport.Addr) (*mapping, error) {
+	key := b.mappingKey(dst)
+	ms := b.byPriv[c]
+	if ms == nil {
+		return nil, transport.ErrPacketClosed
+	}
+	if m := ms[key]; m != nil {
+		m.noteSent(dst)
+		return m, nil
+	}
+	port := b.nextPort
+	b.nextPort++
+	extAddr := transport.Addr(fmt.Sprintf("%s:%d", b.extHost, port))
+	m := &mapping{
+		owner:       c,
+		sentTo:      make(map[transport.Addr]bool),
+		sentToHosts: make(map[string]bool),
+	}
+	// Bind the external socket on the outer network. Its handler is the
+	// inbound half of the NAT: filter, then deliver to the private
+	// socket. ListenPacket on Mem/Live does no blocking I/O, but drop
+	// the lock anyway — the outer network may be another Box.
+	b.mu.Unlock()
+	ext, err := b.outer.ListenPacket(extAddr, func(from transport.Addr, data []byte) {
+		b.inbound(m, from, data)
+	})
+	b.mu.Lock()
+	if err != nil {
+		return nil, fmt.Errorf("nat: bind external %s: %w", extAddr, err)
+	}
+	m.ext = ext
+	if cur := b.byPriv[c]; cur != nil {
+		if prior := cur[key]; prior != nil {
+			// Lost the re-bind race; keep the first mapping.
+			b.mu.Unlock()
+			_ = ext.Close()
+			b.mu.Lock()
+			prior.noteSent(dst)
+			return prior, nil
+		}
+		cur[key] = m
+	}
+	m.noteSent(dst)
+	return m, nil
+}
+
+func (m *mapping) noteSent(dst transport.Addr) {
+	m.sentTo[dst] = true
+	m.sentToHosts[host(dst)] = true
+}
+
+// admit applies the box's inbound filter for a datagram arriving on m
+// from src. Caller holds b.mu.
+func (b *Box) admit(m *mapping, src transport.Addr) bool {
+	switch b.typ {
+	case FullCone:
+		return true
+	case AddrRestricted:
+		return m.sentToHosts[host(src)]
+	case PortRestricted, Symmetric:
+		return m.sentTo[src]
+	default:
+		return false
+	}
+}
+
+// inbound is the external socket's handler: filter per behaviour, then
+// hand the datagram to the private socket with the public source intact.
+func (b *Box) inbound(m *mapping, from transport.Addr, data []byte) {
+	b.mu.Lock()
+	if b.closed || b.byPriv[m.owner] == nil {
+		b.mu.Unlock()
+		return
+	}
+	ok := b.admit(m, from)
+	h := m.owner.h
+	b.mu.Unlock()
+	if ok {
+		h(from, data)
+	}
+	// Filtered datagrams vanish, as a NAT's do.
+}
+
+// host strips the port from an addr ("10.0.0.2:4000" → "10.0.0.2").
+func host(a transport.Addr) string {
+	s := string(a)
+	if i := strings.LastIndex(s, ":"); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// boxConn is one private socket behind the box.
+type boxConn struct {
+	box   *Box
+	local transport.Addr
+	h     transport.PacketHandler
+}
+
+// WriteTo sends a datagram to a public destination through the box: the
+// mapping (existing or freshly allocated) does the actual send, and the
+// destination is recorded for the return filter.
+func (c *boxConn) WriteTo(to transport.Addr, data []byte) error {
+	c.box.mu.Lock()
+	if c.box.closed {
+		c.box.mu.Unlock()
+		return transport.ErrPacketClosed
+	}
+	m, err := c.box.mappingFor(c, to)
+	c.box.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return m.ext.WriteTo(to, data)
+}
+
+// LocalAddr returns the socket's *private* address. Discover (STUN) is
+// how a flow learns its external one.
+func (c *boxConn) LocalAddr() transport.Addr { return c.local }
+
+// Close releases the private socket and its external mappings.
+func (c *boxConn) Close() error {
+	c.box.mu.Lock()
+	ms := c.box.byPriv[c]
+	delete(c.box.byPriv, c)
+	c.box.mu.Unlock()
+	for _, m := range ms {
+		_ = m.ext.Close()
+	}
+	return nil
+}
+
+var (
+	_ transport.PacketNetwork = (*Box)(nil)
+	_ transport.PacketConn    = (*boxConn)(nil)
+)

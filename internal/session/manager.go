@@ -320,11 +320,16 @@ type pathProbe struct {
 }
 
 // probePlan is one session's snapshot of paths to measure this tick:
-// paths[0] is the active path, the rest are the top backups.
+// paths[0] is the active path, the rest are the top backups. media is
+// the session's voice-flow poll (nil when none attached); its snapshot
+// is pulled during the I/O phase alongside the probes.
 type probePlan struct {
 	id     uint64
 	callee transport.Addr
 	paths  []pathProbe
+	media  MediaSource
+	mstats MediaStats
+	mok    bool
 }
 
 // probeTick runs one monitor round in three phases: snapshot the paths
@@ -342,7 +347,7 @@ func (m *Manager) probeTick() {
 		if s.state == StateClosed {
 			continue
 		}
-		p := &probePlan{id: s.id, callee: s.callee}
+		p := &probePlan{id: s.id, callee: s.callee, media: s.media}
 		p.paths = append(p.paths, pathProbe{cand: s.active})
 		limit := m.cfg.Backups
 		if limit > len(s.backups) {
@@ -395,6 +400,9 @@ func (m *Manager) runPlan(p *probePlan) {
 		pp := &p.paths[i]
 		pp.rtt, pp.loss, pp.err = m.drv.ProbePath(pp.cand.Relay, p.callee)
 	}
+	if p.media != nil {
+		p.mstats, p.mok = p.media()
+	}
 }
 
 // commitProbesLocked applies one session's measured tick: score every
@@ -407,7 +415,7 @@ func (m *Manager) commitProbesLocked(s *Session, p *probePlan, now time.Duration
 		// that no longer exists, so drop them rather than mis-attribute.
 		return
 	}
-	activeMOS, activeOK := m.scoreProbeLocked(s, p.paths[0], now)
+	activeMOS, activeOK := m.scoreActiveLocked(s, p, now)
 	s.activeMOS = activeMOS
 	s.mosSum += activeMOS
 	s.mosN++

@@ -1,0 +1,188 @@
+package session
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"asap/internal/sim"
+	"asap/internal/transport"
+)
+
+// mediaScript is a scripted MediaSource: cumulative counters the test
+// advances between ticks.
+type mediaScript struct {
+	mu sync.Mutex
+	st MediaStats
+	ok bool
+}
+
+func (ms *mediaScript) set(st MediaStats, ok bool) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	ms.st, ms.ok = st, ok
+}
+
+func (ms *mediaScript) advance(packets, lost int64, jitter time.Duration) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	ms.st.Packets += packets
+	ms.st.Lost += lost
+	ms.st.Jitter = jitter
+	ms.ok = true
+}
+
+func (ms *mediaScript) source() (MediaStats, bool) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return ms.st, ms.ok
+}
+
+// TestMediaLossDegradesScore: the probe path looks pristine, but the
+// voice stream is losing packets — the blended score must reflect the
+// media loss and mark the session degraded.
+func TestMediaLossDegradesScore(t *testing.T) {
+	clk := &sim.Clock{}
+	drv := &scriptDriver{
+		clk: clk,
+		probe: steadyProbe(
+			map[transport.Addr]time.Duration{"r0": 80 * time.Millisecond},
+			map[transport.Addr]float64{"r0": 0},
+		),
+	}
+	cfg := testConfig()
+	m, err := NewManager(cfg, clk, drv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.Open("bob", Candidate{Relay: "r0", Est: 80 * time.Millisecond}, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	media := &mediaScript{}
+	s.AttachMedia(media.source)
+	m.Start()
+
+	// Tick 1 sets the baseline window; no media influence yet.
+	media.advance(100, 0, 0)
+	clk.RunUntil(cfg.ProbeInterval + time.Millisecond)
+	cleanMOS := s.LastMOS()
+	if cleanMOS < 4.0 {
+		t.Fatalf("clean MOS = %.2f, want > 4.0 on an 80ms lossless path", cleanMOS)
+	}
+
+	// Window 2: heavy media loss (15%) with jitter, probe still clean.
+	media.advance(85, 15, 25*time.Millisecond)
+	clk.RunUntil(2*cfg.ProbeInterval + time.Millisecond)
+	lossyMOS := s.LastMOS()
+	if lossyMOS >= cleanMOS-0.5 {
+		t.Errorf("MOS %.2f after 15%% media loss, want well below clean %.2f", lossyMOS, cleanMOS)
+	}
+	if st := s.State(); st != StateDegraded {
+		t.Errorf("state = %v, want degraded once media loss drags MOS down", st)
+	}
+	h := s.History()
+	last := h[len(h)-1]
+	if last.MediaLoss < 0.14 || last.MediaLoss > 0.16 {
+		t.Errorf("sample media loss = %.3f, want 0.15", last.MediaLoss)
+	}
+	if last.Jitter != 25*time.Millisecond {
+		t.Errorf("sample jitter = %v, want 25ms", last.Jitter)
+	}
+
+	// Window 3: media recovers; score must come back.
+	media.advance(100, 0, time.Millisecond)
+	clk.RunUntil(3*cfg.ProbeInterval + time.Millisecond)
+	if got := s.LastMOS(); got < cleanMOS-0.3 {
+		t.Errorf("MOS %.2f after recovery, want ~%.2f", got, cleanMOS)
+	}
+}
+
+// TestMediaDrivesSwitchover: a backup relay with slightly higher probe
+// RTT must win once the active path's voice stream shows sustained
+// loss the probe plane doesn't see.
+func TestMediaDrivesSwitchover(t *testing.T) {
+	clk := &sim.Clock{}
+	drv := &scriptDriver{
+		clk: clk,
+		probe: steadyProbe(
+			map[transport.Addr]time.Duration{"r0": 80 * time.Millisecond, "r1": 120 * time.Millisecond},
+			map[transport.Addr]float64{"r0": 0, "r1": 0},
+		),
+	}
+	cfg := testConfig()
+	var switches []Event
+	m, err := NewManager(cfg, clk, drv, WithEventLog(func(e Event) {
+		if e.Kind == "switch" {
+			switches = append(switches, e)
+		}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.Open("bob",
+		Candidate{Relay: "r0", Est: 80 * time.Millisecond},
+		[]Candidate{{Relay: "r1", Est: 120 * time.Millisecond}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	media := &mediaScript{}
+	s.AttachMedia(media.source)
+	m.Start()
+
+	// Sustained 20% voice loss on the active path across enough ticks
+	// for the hysteresis to qualify the cleaner backup.
+	ticks := cfg.SwitchConsecutive + 3
+	for i := 1; i <= ticks; i++ {
+		media.advance(80, 20, 10*time.Millisecond)
+		clk.RunUntil(time.Duration(i)*cfg.ProbeInterval + time.Millisecond)
+	}
+	if len(switches) == 0 {
+		t.Fatalf("no switchover after %d ticks of 20%% media loss", ticks)
+	}
+	if s.Active().Relay != "r1" {
+		t.Errorf("active = %q, want r1 after media-driven switch", s.Active().Relay)
+	}
+	if s.Switches() != 1 {
+		t.Errorf("switches = %d, want exactly 1 (hysteresis)", s.Switches())
+	}
+}
+
+// TestMediaSilentWindowIgnored: a window with no voice traffic must not
+// affect the score (silence suppression is not packet loss).
+func TestMediaSilentWindowIgnored(t *testing.T) {
+	clk := &sim.Clock{}
+	drv := &scriptDriver{
+		clk: clk,
+		probe: steadyProbe(
+			map[transport.Addr]time.Duration{"r0": 80 * time.Millisecond},
+			map[transport.Addr]float64{"r0": 0},
+		),
+	}
+	cfg := testConfig()
+	m, err := NewManager(cfg, clk, drv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.Open("bob", Candidate{Relay: "r0", Est: 80 * time.Millisecond}, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	media := &mediaScript{}
+	media.set(MediaStats{Packets: 1000, Lost: 10, Jitter: 5 * time.Millisecond}, true)
+	s.AttachMedia(media.source)
+	m.Start()
+
+	// Two ticks with identical cumulative counters: baseline, then an
+	// empty window.
+	clk.RunUntil(2*cfg.ProbeInterval + time.Millisecond)
+	h := s.History()
+	for _, smp := range h {
+		if smp.MediaLoss != 0 || smp.Jitter != 0 {
+			t.Errorf("sample %+v carries media influence from an empty window", smp)
+		}
+	}
+	if mos := s.LastMOS(); mos < 4.0 {
+		t.Errorf("MOS %.2f, want probe-only score on silent media", mos)
+	}
+}

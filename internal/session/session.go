@@ -65,7 +65,10 @@ type Candidate struct {
 	Est   time.Duration
 }
 
-// Sample is one monitor-probe measurement of one path.
+// Sample is one monitor-probe measurement of one path. For the active
+// path of a session with media attached, Loss is the blended (probe ∨
+// media) loss the score used, and MediaLoss/Jitter carry the voice
+// receiver's own window measurements.
 type Sample struct {
 	At    time.Duration
 	Relay transport.Addr
@@ -73,6 +76,13 @@ type Sample struct {
 	Loss  float64
 	MOS   float64
 	OK    bool
+
+	// MediaLoss is the voice stream's windowed loss fraction (0 when no
+	// media window contributed to this sample).
+	MediaLoss float64
+	// Jitter is the voice stream's RFC 3550 interarrival jitter at
+	// sample time (0 when no media window contributed).
+	Jitter time.Duration
 }
 
 // Session is one live monitored call. All fields are guarded by the
@@ -98,6 +108,13 @@ type Session struct {
 	// active path by the switch margin, and each path's last probe MOS.
 	streak  map[transport.Addr]int
 	lastMOS map[transport.Addr]float64
+
+	// Media-path accounting (see media.go): the attached voice-flow
+	// poll, the previous tick's cumulative snapshot, and whether a
+	// baseline window exists yet.
+	media     MediaSource
+	lastMedia MediaStats
+	mediaSeen bool
 
 	activeMOS float64
 	switches  int

@@ -51,10 +51,15 @@ func (c *Chaos) sched() sim.Scheduler {
 	return wallFallback
 }
 
-// ChaosStats counts injected faults.
+// ChaosStats counts injected faults across both planes: the fault
+// counters (Dropped, Blackholed, Failed, Outaged) cover calls and
+// datagrams alike, since both consult the same tables.
 type ChaosStats struct {
 	// Calls is the total number of Call invocations seen.
 	Calls int
+	// Packets is the total number of datagram WriteTo invocations seen
+	// on networks decorated via PacketNetwork.
+	Packets int
 	// Dropped counts probabilistic drops.
 	Dropped int
 	// Blackholed counts calls rejected by permanent blackholes.

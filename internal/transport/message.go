@@ -78,6 +78,14 @@ const (
 	// lost its lease learns the incumbent and demotes itself.
 	MsgSurrogateHeartbeat
 	MsgSurrogateHeartbeatReply
+
+	// MsgMediaSetup: caller -> callee. Starts the voice data plane for a
+	// call: carries the caller's STUN-discovered external media address
+	// and the flow token both sides will bind. The reply returns the
+	// callee's own external media address, after which both sides run the
+	// traversal ladder (direct -> punched -> relayed) simultaneously.
+	MsgMediaSetup
+	MsgMediaSetupReply
 )
 
 // CloseEntry is one close-cluster-set entry on the wire.
@@ -152,4 +160,12 @@ type Message struct {
 	// surrogate (close set unavailable): the caller should fall back to a
 	// direct call rather than treating the setup as failed.
 	Degraded bool
+	// MediaAddr is the sender's STUN-discovered external media address
+	// (MsgMediaSetup carries the caller's, MsgMediaSetupReply the
+	// callee's).
+	MediaAddr Addr
+	// MediaToken is the voice-flow identity: the packet SSRC both call
+	// endpoints stamp, and the token they bind on the voice relay when
+	// the ladder falls through to its relay rung (MsgMediaSetup).
+	MediaToken uint32
 }

@@ -1,0 +1,158 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Datagram plane. The request/response Transport carries ASAP's control
+// traffic; voice rides this second, unreliable plane instead: datagrams
+// are fire-and-forget, never block the sender on delivery, and are
+// silently dropped when the destination is unreachable — the semantics a
+// real UDP socket gives a VoIP stack, and the semantics the NAT
+// traversal machinery in internal/nat and internal/transport/udp is
+// written against. Keeping the two planes separate also keeps voice
+// flows on independent sockets: multiplexing media over one reliable
+// stream causes head-of-line blocking (a lesson the related NAT-relay
+// repos learned the hard way).
+
+// PacketHandler consumes one inbound datagram. The data slice is only
+// valid for the duration of the call; implementations that retain it
+// must copy.
+type PacketHandler func(from Addr, data []byte)
+
+// PacketConn is one bound datagram socket.
+type PacketConn interface {
+	// WriteTo sends one datagram. Delivery is best-effort: an
+	// unreachable or unbound destination loses the datagram silently
+	// (like UDP), and only local errors (closed socket, oversized
+	// datagram) are reported. WriteTo never blocks on delivery and the
+	// caller may reuse data as soon as it returns.
+	WriteTo(to Addr, data []byte) error
+	// LocalAddr returns the bound address (useful for ":0" binds).
+	LocalAddr() Addr
+	// Close unbinds the socket.
+	Close() error
+}
+
+// PacketNetwork binds datagram sockets. Implementations: *Mem (in-proc,
+// virtual-clock latency), udp.Live (real sockets), nat.Box (emulated NAT
+// in front of either), and Chaos.PacketNetwork (fault injection over any
+// of them).
+type PacketNetwork interface {
+	// ListenPacket binds addr and delivers every inbound datagram to h.
+	// The handler runs as a scheduler task; it may block on the
+	// scheduler (Sleep, Wait) without stalling the network.
+	ListenPacket(addr Addr, h PacketHandler) (PacketConn, error)
+}
+
+// ErrPacketClosed is returned by WriteTo on a closed packet socket.
+var ErrPacketClosed = errors.New("transport: packet socket closed")
+
+// MaxDatagram bounds one datagram's size (voice packets are tiny; this
+// is a sanity limit, not a protocol constant).
+const MaxDatagram = 64 << 10
+
+// --- Mem datagram plane ---
+
+// memPacketConn is one bound in-memory datagram socket.
+type memPacketConn struct {
+	m    *Mem
+	addr Addr
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// ListenPacket implements PacketNetwork: it binds addr on the in-memory
+// datagram plane, sharing the address namespace with other packet binds
+// but not with Serve (a node commonly binds the same string on both
+// planes, as one host binds one port on TCP and UDP).
+func (m *Mem) ListenPacket(addr Addr, h PacketHandler) (PacketConn, error) {
+	if h == nil {
+		return nil, errors.New("transport: ListenPacket needs a handler")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, errors.New("transport: closed")
+	}
+	if m.packets == nil {
+		m.packets = make(map[Addr]PacketHandler)
+	}
+	if _, ok := m.packets[addr]; ok {
+		return nil, fmt.Errorf("transport: packet address %q already bound", addr)
+	}
+	m.packets[addr] = h
+	return &memPacketConn{m: m, addr: addr}, nil
+}
+
+// WriteTo implements PacketConn: fire-and-forget delivery. The datagram
+// is copied immediately (the caller may reuse the buffer, e.g. return it
+// to a pool) and handed to the destination handler as a scheduler task
+// after the one-way link latency — never blocking the sender, unlike
+// Call, which sleeps a full round trip. An unbound destination drops the
+// datagram silently: unreliability is the contract, and the traversal
+// ladder's retries are built on top of it.
+func (c *memPacketConn) WriteTo(to Addr, data []byte) error {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return ErrPacketClosed
+	}
+	if len(data) > MaxDatagram {
+		return fmt.Errorf("transport: datagram too large: %d", len(data))
+	}
+	m := c.m
+	m.mu.RLock()
+	lat := m.Latency
+	dead := m.closed
+	m.mu.RUnlock()
+	if dead {
+		return ErrPacketClosed
+	}
+	var d time.Duration
+	if lat != nil {
+		d = lat(c.addr, to)
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	from := c.addr
+	// Deliver as a scheduler task so handlers may block on the
+	// scheduler; the handler is looked up at delivery time, so a socket
+	// bound (or closed) in flight behaves like the real network.
+	m.sched().After(d, func() {
+		m.mu.RLock()
+		h := m.packets[to]
+		closed := m.closed
+		m.mu.RUnlock()
+		if closed || h == nil {
+			return // dropped on the floor, as UDP would
+		}
+		h(from, buf)
+	})
+	return nil
+}
+
+// LocalAddr implements PacketConn.
+func (c *memPacketConn) LocalAddr() Addr { return c.addr }
+
+// Close implements PacketConn.
+func (c *memPacketConn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.m.mu.Lock()
+	delete(c.m.packets, c.addr)
+	c.m.mu.Unlock()
+	return nil
+}
+
+var _ PacketNetwork = (*Mem)(nil)

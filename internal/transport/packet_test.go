@@ -1,0 +1,292 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"asap/internal/sim"
+)
+
+func TestMemPacketRoundTrip(t *testing.T) {
+	m := NewMem()
+	defer func() { _ = m.Close() }()
+	got := make(chan string, 1)
+	if _, err := m.ListenPacket("b", func(from Addr, data []byte) {
+		got <- string(from) + "/" + string(data)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := m.ListenPacket("a", func(Addr, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WriteTo("b", []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case s := <-got:
+		if s != "a/hi" {
+			t.Errorf("delivered %q, want a/hi", s)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("datagram never delivered")
+	}
+}
+
+func TestMemPacketSilentDrop(t *testing.T) {
+	// Datagrams to unbound destinations vanish without error — the UDP
+	// contract the traversal retries are built on.
+	m := NewMem()
+	defer func() { _ = m.Close() }()
+	a, err := m.ListenPacket("a", func(Addr, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WriteTo("ghost", []byte("x")); err != nil {
+		t.Errorf("send to unbound addr: %v, want nil (silent drop)", err)
+	}
+}
+
+func TestMemPacketSenderNeverBlocks(t *testing.T) {
+	// Even when the receiver's handler blocks on the scheduler, WriteTo
+	// returns immediately: delivery is a separate scheduler task.
+	clk := sim.NewClock()
+	m := NewMem()
+	defer func() { _ = m.Close() }()
+	m.Sched = clk
+	m.Latency = func(from, to Addr) time.Duration { return 10 * time.Millisecond }
+	var deliveredAt time.Duration
+	if _, err := m.ListenPacket("b", func(Addr, []byte) {
+		clk.Sleep(time.Hour) // slow consumer
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := m.ListenPacket("a", func(Addr, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.RunTask(func() {
+		for i := 0; i < 3; i++ {
+			if err := a.WriteTo("b", []byte("x")); err != nil {
+				t.Error(err)
+			}
+		}
+		deliveredAt = clk.Now()
+	})
+	if deliveredAt != 0 {
+		t.Errorf("sender advanced to %v, want 0 (fire-and-forget)", deliveredAt)
+	}
+}
+
+func TestMemPacketLatencyVirtual(t *testing.T) {
+	// One-way latency, not the Call round trip.
+	clk := sim.NewClock()
+	m := NewMem()
+	defer func() { _ = m.Close() }()
+	m.Sched = clk
+	m.Latency = func(from, to Addr) time.Duration { return 25 * time.Millisecond }
+	var arrival time.Duration
+	if _, err := m.ListenPacket("b", func(Addr, []byte) {
+		arrival = clk.Now()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := m.ListenPacket("a", func(Addr, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.RunTask(func() {
+		if err := a.WriteTo("b", []byte("x")); err != nil {
+			t.Error(err)
+		}
+	})
+	clk.Run()
+	if arrival != 25*time.Millisecond {
+		t.Errorf("arrival at %v, want 25ms (one-way)", arrival)
+	}
+}
+
+func TestMemPacketBufferReuse(t *testing.T) {
+	// WriteTo must copy: the caller may recycle its buffer immediately.
+	clk := sim.NewClock()
+	m := NewMem()
+	defer func() { _ = m.Close() }()
+	m.Sched = clk
+	m.Latency = func(from, to Addr) time.Duration { return time.Millisecond }
+	var got []byte
+	if _, err := m.ListenPacket("b", func(_ Addr, data []byte) {
+		got = append([]byte(nil), data...)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := m.ListenPacket("a", func(Addr, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := []byte("original")
+	clk.RunTask(func() {
+		if err := a.WriteTo("b", buf); err != nil {
+			t.Error(err)
+		}
+		copy(buf, "clobbers") // reuse before delivery
+	})
+	clk.Run()
+	if string(got) != "original" {
+		t.Errorf("receiver saw %q, want %q (WriteTo must copy)", got, "original")
+	}
+}
+
+func TestMemPacketDuplicateBind(t *testing.T) {
+	m := NewMem()
+	defer func() { _ = m.Close() }()
+	if _, err := m.ListenPacket("a", func(Addr, []byte) {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ListenPacket("a", func(Addr, []byte) {}); err == nil {
+		t.Error("duplicate packet bind should fail")
+	}
+	// But the packet namespace is separate from Serve's.
+	if _, err := m.Serve("a", echoHandler); err != nil {
+		t.Errorf("Serve on packet-bound addr: %v (planes share the namespace?)", err)
+	}
+}
+
+func TestMemPacketClose(t *testing.T) {
+	m := NewMem()
+	defer func() { _ = m.Close() }()
+	a, err := m.ListenPacket("a", func(Addr, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WriteTo("a", []byte("x")); !errors.Is(err, ErrPacketClosed) {
+		t.Errorf("write on closed socket: %v, want ErrPacketClosed", err)
+	}
+	// The address is free again.
+	if _, err := m.ListenPacket("a", func(Addr, []byte) {}); err != nil {
+		t.Errorf("rebind after close: %v", err)
+	}
+}
+
+func TestMemPacketOversized(t *testing.T) {
+	m := NewMem()
+	defer func() { _ = m.Close() }()
+	a, err := m.ListenPacket("a", func(Addr, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WriteTo("a", make([]byte, MaxDatagram+1)); err == nil {
+		t.Error("oversized datagram should be rejected locally")
+	}
+}
+
+func TestChaosPacketDrop(t *testing.T) {
+	// drop=1 between a and b loses every datagram silently; the reverse
+	// direction is untouched.
+	clk := sim.NewClock()
+	m := NewMem()
+	defer func() { _ = m.Close() }()
+	m.Sched = clk
+	c := NewChaos(m, 1)
+	c.Sched = clk
+	c.DropTo("b", 1)
+	pn := c.PacketNetwork(m)
+	var atB, atA int
+	bConn, err := pn.ListenPacket("b", func(Addr, []byte) { atB++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	aConn, err := pn.ListenPacket("a", func(Addr, []byte) { atA++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.RunTask(func() {
+		for i := 0; i < 20; i++ {
+			if err := aConn.WriteTo("b", []byte("x")); err != nil {
+				t.Error(err)
+			}
+			if err := bConn.WriteTo("a", []byte("y")); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	clk.Run()
+	if atB != 0 {
+		t.Errorf("b received %d datagrams through a drop=1 link", atB)
+	}
+	if atA != 20 {
+		t.Errorf("a received %d datagrams, want 20 (reverse direction clean)", atA)
+	}
+	if st := c.Stats(); st.Packets != 40 || st.Dropped != 20 {
+		t.Errorf("stats = %+v, want Packets=40 Dropped=20", st)
+	}
+}
+
+func TestChaosPacketLatencyAsync(t *testing.T) {
+	// Added latency delays delivery without ever blocking the sender —
+	// the datagram plane has no round trip to stretch.
+	clk := sim.NewClock()
+	m := NewMem()
+	defer func() { _ = m.Close() }()
+	m.Sched = clk
+	c := NewChaos(m, 1)
+	c.Sched = clk
+	if err := c.Apply("lat@b=30ms"); err != nil {
+		t.Fatal(err)
+	}
+	pn := c.PacketNetwork(m)
+	var arrival, sentDone time.Duration
+	if _, err := pn.ListenPacket("b", func(Addr, []byte) { arrival = clk.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	aConn, err := pn.ListenPacket("a", func(Addr, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.RunTask(func() {
+		if err := aConn.WriteTo("b", []byte("x")); err != nil {
+			t.Error(err)
+		}
+		sentDone = clk.Now()
+	})
+	clk.Run()
+	if sentDone != 0 {
+		t.Errorf("sender blocked until %v, want 0", sentDone)
+	}
+	if arrival != 30*time.Millisecond {
+		t.Errorf("arrival at %v, want 30ms added latency", arrival)
+	}
+}
+
+func TestChaosPacketBlackhole(t *testing.T) {
+	clk := sim.NewClock()
+	m := NewMem()
+	defer func() { _ = m.Close() }()
+	m.Sched = clk
+	c := NewChaos(m, 1)
+	c.Sched = clk
+	if err := c.Apply("blackhole@b"); err != nil {
+		t.Fatal(err)
+	}
+	pn := c.PacketNetwork(m)
+	var atB int
+	if _, err := pn.ListenPacket("b", func(Addr, []byte) { atB++ }); err != nil {
+		t.Fatal(err)
+	}
+	aConn, err := pn.ListenPacket("a", func(Addr, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.RunTask(func() {
+		if err := aConn.WriteTo("b", []byte("x")); err != nil {
+			t.Errorf("blackholed send must fail silently, got %v", err)
+		}
+	})
+	clk.Run()
+	if atB != 0 {
+		t.Errorf("blackholed node received %d datagrams", atB)
+	}
+}

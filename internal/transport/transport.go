@@ -66,6 +66,7 @@ func IsTransient(err error) bool {
 type Mem struct {
 	mu       sync.RWMutex
 	handlers map[Addr]Handler
+	packets  map[Addr]PacketHandler // datagram plane (see packet.go)
 	closed   bool
 	// Latency, if set, returns the one-way delay between two addresses;
 	// Call delays twice that on the scheduler before invoking the handler.
@@ -143,6 +144,7 @@ func (m *Mem) Close() error {
 	defer m.mu.Unlock()
 	m.closed = true
 	m.handlers = make(map[Addr]Handler)
+	m.packets = nil
 	return nil
 }
 

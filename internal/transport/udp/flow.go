@@ -1,0 +1,583 @@
+package udp
+
+import (
+	"fmt"
+	"time"
+
+	"sync"
+
+	"asap/internal/sim"
+	"asap/internal/transport"
+)
+
+// PathKind classifies how a flow's media path was established — the rung
+// of the traversal ladder the call landed on.
+type PathKind int
+
+// Traversal outcomes, in escalation order.
+const (
+	// PathNone: not established.
+	PathNone PathKind = iota
+	// PathDirect: the first unassisted send got through (callee
+	// reachable, e.g. full-cone or no NAT).
+	PathDirect
+	// PathPunched: simultaneous-open hole punching opened the path.
+	PathPunched
+	// PathRelayed: both sides fell back to a voice relay.
+	PathRelayed
+)
+
+// String renders the path kind for logs and reports.
+func (k PathKind) String() string {
+	switch k {
+	case PathNone:
+		return "none"
+	case PathDirect:
+		return "direct"
+	case PathPunched:
+		return "punched"
+	case PathRelayed:
+		return "relayed"
+	default:
+		return fmt.Sprintf("path(%d)", int(k))
+	}
+}
+
+// Config tunes the traversal ladder. All durations are scheduler time:
+// virtual in simulation, real in the live daemon.
+type Config struct {
+	// StunTries and StunInterval pace external-address discovery
+	// retries (each datagram may be lost).
+	StunTries    int
+	StunInterval time.Duration
+	// DirectBudget is the phase-1 window: the caller sends unassisted
+	// Syns while the callee listens. If the callee's NAT admits them,
+	// the call goes direct.
+	DirectBudget time.Duration
+	// PunchBudget is the phase-2 window: both sides Syn simultaneously.
+	PunchBudget time.Duration
+	// PunchInterval is the initial Syn retry interval; it doubles per
+	// retry (capped at PunchInterval*8) so early losses recover fast
+	// without flooding.
+	PunchInterval time.Duration
+	// RelayBudget is the phase-3 window for the relay bind handshake.
+	RelayBudget time.Duration
+}
+
+// DefaultConfig returns ladder parameters tuned for LAN-scale RTTs.
+func DefaultConfig() Config {
+	return Config{
+		StunTries:     5,
+		StunInterval:  150 * time.Millisecond,
+		DirectBudget:  400 * time.Millisecond,
+		PunchBudget:   1600 * time.Millisecond,
+		PunchInterval: 50 * time.Millisecond,
+		RelayBudget:   1600 * time.Millisecond,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.StunTries < 1:
+		return fmt.Errorf("udp: StunTries must be >= 1")
+	case c.StunInterval <= 0:
+		return fmt.Errorf("udp: StunInterval must be > 0")
+	case c.DirectBudget <= 0:
+		return fmt.Errorf("udp: DirectBudget must be > 0")
+	case c.PunchBudget <= 0:
+		return fmt.Errorf("udp: PunchBudget must be > 0")
+	case c.PunchInterval <= 0:
+		return fmt.Errorf("udp: PunchInterval must be > 0")
+	case c.RelayBudget <= 0:
+		return fmt.Errorf("udp: RelayBudget must be > 0")
+	}
+	return nil
+}
+
+// Endpoint opens per-call voice flows over one packet network. It is
+// cheap: all state lives in the flows.
+type Endpoint struct {
+	pnet  transport.PacketNetwork
+	sched sim.Scheduler
+	cfg   Config
+}
+
+// NewEndpoint builds a data-plane endpoint over pnet. sched is the
+// shared time source (a *sim.Clock in tests, sim.NewWall() live).
+func NewEndpoint(pnet transport.PacketNetwork, sched sim.Scheduler, cfg Config) (*Endpoint, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if pnet == nil || sched == nil {
+		return nil, fmt.Errorf("udp: Endpoint needs a packet network and a scheduler")
+	}
+	return &Endpoint{pnet: pnet, sched: sched, cfg: cfg}, nil
+}
+
+// Open binds a fresh socket for one voice flow. Every flow gets its own
+// socket — its own NAT mapping, its own queue — which is both what hole
+// punching needs and what keeps one congested call from blocking
+// another. ssrc is the flow identity carried in every packet (and the
+// relay token when the ladder falls through to a relay).
+func (e *Endpoint) Open(local transport.Addr, ssrc uint32) (*Flow, error) {
+	f := &Flow{
+		sched: e.sched,
+		cfg:   e.cfg,
+		ssrc:  ssrc,
+	}
+	conn, err := e.pnet.ListenPacket(local, f.dispatch)
+	if err != nil {
+		return nil, err
+	}
+	f.conn = conn
+	return f, nil
+}
+
+// Flow is one call's voice stream: a socket, a peer (once established),
+// and receiver-side accounting. Establish and Discover block the
+// calling scheduler task; SendVoice never blocks.
+type Flow struct {
+	conn  transport.PacketConn
+	sched sim.Scheduler
+	cfg   Config
+	ssrc  uint32
+
+	mu          sync.Mutex
+	closed      bool
+	established bool
+	path        PathKind
+	phase       PathKind       // ladder rung currently being attempted
+	peer        transport.Addr // voice destination (peer or relay)
+	relay       transport.Addr
+	estW        sim.Waiter // armed by the phase loops, woken on establish
+
+	stunW    sim.Waiter
+	stunSeq  uint32
+	stunAddr transport.Addr
+
+	seq     uint32 // next voice sequence number
+	sent    int64
+	onVoice func(p Packet, from transport.Addr)
+
+	rx rxState
+}
+
+// LocalAddr returns the flow's bound (private) address.
+func (f *Flow) LocalAddr() transport.Addr { return f.conn.LocalAddr() }
+
+// SSRC returns the flow identity.
+func (f *Flow) SSRC() uint32 { return f.ssrc }
+
+// Path returns the established path kind (PathNone before Establish).
+func (f *Flow) Path() PathKind {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.path
+}
+
+// Peer returns the current voice destination.
+func (f *Flow) Peer() transport.Addr {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.peer
+}
+
+// SetVoiceHandler installs a callback for inbound voice packets, invoked
+// after accounting. The packet payload is only valid during the call.
+func (f *Flow) SetVoiceHandler(fn func(p Packet, from transport.Addr)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.onVoice = fn
+}
+
+// Close shuts the flow's socket.
+func (f *Flow) Close() error {
+	f.mu.Lock()
+	f.closed = true
+	f.mu.Unlock()
+	return f.conn.Close()
+}
+
+// --- Discovery ---
+
+// Discover asks the STUN server for this socket's external address,
+// retrying lost datagrams. The answer is only meaningful for this
+// socket: NAT mappings are per-socket (and, behind a symmetric NAT,
+// per-destination — which is exactly why punching fails there and the
+// ladder needs its relay rung).
+func (f *Flow) Discover(stun transport.Addr) (transport.Addr, error) {
+	for i := 0; i < f.cfg.StunTries; i++ {
+		f.mu.Lock()
+		f.stunSeq++
+		seq := f.stunSeq
+		f.stunAddr = ""
+		w := f.sched.NewWaiter()
+		f.stunW = w
+		f.mu.Unlock()
+
+		buf := GetBuf()
+		req := Packet{Type: PTStunReq, Seq: seq, TS: f.sched.Now(), SSRC: f.ssrc}
+		buf = req.AppendTo(buf)
+		err := f.conn.WriteTo(stun, buf)
+		PutBuf(buf)
+		if err != nil {
+			return "", err
+		}
+		if w.Wait(f.cfg.StunInterval) {
+			f.mu.Lock()
+			addr := f.stunAddr
+			f.mu.Unlock()
+			if addr != "" {
+				return addr, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("udp: discovery via %s timed out after %d tries", stun, f.cfg.StunTries)
+}
+
+// --- Establishment ladder ---
+
+// Establish climbs the traversal ladder toward peer (the peer's
+// discovered external address): direct → punched → relayed. Caller and
+// callee both invoke it with the same phase budgets after exchanging
+// external addresses over the control plane; only the caller actively
+// Syns during the direct phase (the callee answers), then both punch
+// simultaneously, then both bind relay (empty relay = skip that rung).
+// It returns the rung the flow landed on.
+func (f *Flow) Establish(peer, relay transport.Addr, caller bool) (PathKind, error) {
+	f.mu.Lock()
+	if f.established {
+		p := f.path
+		f.mu.Unlock()
+		return p, nil
+	}
+	f.peer = peer
+	f.relay = relay
+	f.mu.Unlock()
+
+	// Phase 1 — direct: only the caller sends; a callee that Syn'd too
+	// would already be punching. If the callee's NAT admits unsolicited
+	// datagrams the Ack comes straight back.
+	if caller {
+		if f.synLoop(PathDirect, f.cfg.DirectBudget, PTSyn) {
+			return PathDirect, nil
+		}
+	} else if f.waitPhase(PathDirect, f.cfg.DirectBudget) {
+		return PathDirect, nil
+	}
+
+	// Phase 2 — simultaneous open: both sides Syn. Outbound datagrams
+	// open each NAT's own mapping; whichever inbound Syn or Ack lands
+	// first proves the hole.
+	if f.synLoop(PathPunched, f.cfg.PunchBudget, PTSyn) {
+		return PathPunched, nil
+	}
+
+	// Phase 3 — relay: both sides bind the flow token on the relay and
+	// wait for its confirmation.
+	if relay != "" {
+		if f.synLoop(PathRelayed, f.cfg.RelayBudget, PTRelayBind) {
+			return PathRelayed, nil
+		}
+	}
+	return PathNone, fmt.Errorf("udp: no path to %s (direct, punch and relay all failed)", peer)
+}
+
+// synLoop drives one ladder phase: send the phase's packet to its target
+// on a doubling retry interval until the flow establishes or the budget
+// runs out. Reports whether the flow established during the phase.
+func (f *Flow) synLoop(phase PathKind, budget time.Duration, pt PacketType) bool {
+	deadline := f.sched.Now() + budget
+	interval := f.cfg.PunchInterval
+	maxInterval := f.cfg.PunchInterval * 8
+	var attempt uint32
+	for {
+		f.mu.Lock()
+		if f.established || f.closed {
+			est := f.established
+			f.mu.Unlock()
+			return est
+		}
+		f.phase = phase
+		w := f.sched.NewWaiter()
+		f.estW = w
+		to := f.peer
+		if pt == PTRelayBind {
+			to = f.relay
+		}
+		f.mu.Unlock()
+
+		attempt++
+		buf := GetBuf()
+		p := Packet{Type: pt, Seq: attempt, TS: f.sched.Now(), SSRC: f.ssrc}
+		buf = p.AppendTo(buf)
+		_ = f.conn.WriteTo(to, buf) // loss is the medium's prerogative
+		PutBuf(buf)
+
+		remaining := deadline - f.sched.Now()
+		if remaining <= 0 {
+			return f.isEstablished()
+		}
+		wait := interval
+		if wait > remaining {
+			wait = remaining
+		}
+		if w.Wait(wait) {
+			return f.isEstablished()
+		}
+		if interval < maxInterval {
+			interval *= 2
+		}
+	}
+}
+
+// waitPhase parks the callee for one passive phase: established (woken
+// by dispatch) or budget exhausted.
+func (f *Flow) waitPhase(phase PathKind, budget time.Duration) bool {
+	f.mu.Lock()
+	if f.established {
+		f.mu.Unlock()
+		return true
+	}
+	f.phase = phase
+	w := f.sched.NewWaiter()
+	f.estW = w
+	f.mu.Unlock()
+	w.Wait(budget)
+	return f.isEstablished()
+}
+
+func (f *Flow) isEstablished() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.established
+}
+
+// establishLocked marks the flow open on the current ladder rung toward
+// dest, waking the parked phase loop.
+func (f *Flow) establishLocked(dest transport.Addr, kind PathKind) {
+	if f.established {
+		return
+	}
+	f.established = true
+	f.path = kind
+	f.peer = dest
+	if f.estW != nil {
+		f.estW.Wake()
+		f.estW = nil
+	}
+}
+
+// --- Voice ---
+
+// SendVoice transmits one voice payload (a frame batch) on the
+// established path. It stamps seq, the scheduler-offset timestamp, and
+// the flow SSRC, encodes into a pooled buffer and fires the datagram —
+// never blocking on delivery.
+func (f *Flow) SendVoice(payload []byte) error {
+	f.mu.Lock()
+	if !f.established {
+		f.mu.Unlock()
+		return fmt.Errorf("udp: flow %d not established", f.ssrc)
+	}
+	if f.closed {
+		f.mu.Unlock()
+		return transport.ErrPacketClosed
+	}
+	f.seq++
+	seq := f.seq
+	to := f.peer
+	f.sent++
+	f.mu.Unlock()
+
+	buf := GetBuf()
+	p := Packet{Type: PTVoice, Seq: seq, TS: f.sched.Now(), SSRC: f.ssrc, Payload: payload}
+	buf = p.AppendTo(buf)
+	err := f.conn.WriteTo(to, buf)
+	PutBuf(buf)
+	return err
+}
+
+// Sent reports the number of voice packets sent.
+func (f *Flow) Sent() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.sent
+}
+
+// --- Inbound dispatch ---
+
+// dispatch is the flow's packet loop. It answers discovery and punch
+// traffic and accounts voice. Establishment rules:
+//
+//   - an inbound Syn proves the peer can reach us; the Ack we return
+//     travels the reverse permission our reply creates, so receiving a
+//     Syn establishes the flow toward the *observed* source — the
+//     adaptation that lets punching survive a symmetric NAT on the far
+//     side (the Syn arrives from a port nobody predicted).
+//   - an inbound Ack proves our own Syn got through.
+//   - PTRelayBound redirects the flow's voice to the relay.
+func (f *Flow) dispatch(from transport.Addr, data []byte) {
+	p, err := Parse(data)
+	if err != nil || p.SSRC != f.ssrc {
+		return
+	}
+	switch p.Type {
+	case PTStunResp:
+		f.mu.Lock()
+		if p.Seq == f.stunSeq && f.stunW != nil {
+			f.stunAddr = transport.Addr(p.Payload)
+			f.stunW.Wake()
+			f.stunW = nil
+		}
+		f.mu.Unlock()
+
+	case PTSyn:
+		f.mu.Lock()
+		kind := f.phase
+		if kind == PathNone {
+			kind = PathDirect // passive side hit before its ladder started
+		}
+		f.establishLocked(from, kind)
+		f.mu.Unlock()
+		buf := GetBuf()
+		ack := Packet{Type: PTAck, Seq: p.Seq, TS: f.sched.Now(), SSRC: f.ssrc}
+		buf = ack.AppendTo(buf)
+		_ = f.conn.WriteTo(from, buf)
+		PutBuf(buf)
+
+	case PTAck:
+		f.mu.Lock()
+		kind := f.phase
+		if kind == PathNone {
+			kind = PathDirect
+		}
+		f.establishLocked(from, kind)
+		f.mu.Unlock()
+
+	case PTRelayBound:
+		f.mu.Lock()
+		if f.relay != "" {
+			f.establishLocked(f.relay, PathRelayed)
+		}
+		f.mu.Unlock()
+
+	case PTVoice:
+		now := f.sched.Now()
+		f.mu.Lock()
+		f.rx.account(p, now)
+		fn := f.onVoice
+		f.mu.Unlock()
+		if fn != nil {
+			fn(p, from)
+		}
+	}
+}
+
+// --- Receiver-side accounting ---
+
+// rxState tracks what the listener actually received, RTP-receiver
+// style: sequence-gap loss, late arrivals (reorders), duplicates, and
+// RFC 3550 §6.4.1 interarrival jitter computed from the send timestamps
+// (scheduler offsets; only differences are used, so sender and receiver
+// clocks need no common origin).
+type rxState struct {
+	started     bool
+	highestSeq  uint32
+	packets     int64
+	bytes       int64
+	lost        int64
+	reordered   int64
+	duplicates  int64
+	lastTransit time.Duration
+	jitter      time.Duration
+	seen        map[uint32]bool // late-arrival dedup over a bounded window
+}
+
+// rxDedupWindow bounds the duplicate-detection memory.
+const rxDedupWindow = 512
+
+func (r *rxState) account(p Packet, arrival time.Duration) {
+	if r.seen == nil {
+		r.seen = make(map[uint32]bool, rxDedupWindow)
+	}
+	if r.started && p.Seq <= r.highestSeq && r.seen[p.Seq] {
+		// A pure duplicate carries no new timing information: count it
+		// and keep it out of the jitter estimator.
+		r.duplicates++
+		return
+	}
+	transit := arrival - p.TS
+	if r.started {
+		d := transit - r.lastTransit
+		if d < 0 {
+			d = -d
+		}
+		// J += (|D| - J) / 16 — RFC 3550's noise-smoothed estimator.
+		r.jitter += (d - r.jitter) / 16
+	}
+	r.lastTransit = transit
+	switch {
+	case !r.started:
+		r.started = true
+		r.highestSeq = p.Seq
+	case p.Seq == r.highestSeq+1:
+		r.highestSeq = p.Seq
+	case p.Seq > r.highestSeq:
+		r.lost += int64(p.Seq - r.highestSeq - 1)
+		r.highestSeq = p.Seq
+	default: // p.Seq < highestSeq and unseen: a late (reordered) arrival
+		r.reordered++
+		if r.lost > 0 {
+			r.lost-- // a frame previously counted lost arrived after all
+		}
+	}
+	r.seen[p.Seq] = true
+	if len(r.seen) > rxDedupWindow {
+		// Forget far-past sequence numbers; a datagram older than the
+		// window re-counts as a duplicate miss at worst.
+		for s := range r.seen {
+			if s+rxDedupWindow < r.highestSeq {
+				delete(r.seen, s)
+			}
+		}
+	}
+	r.packets++
+	r.bytes += int64(len(p.Payload))
+}
+
+// RxStats is a snapshot of receiver-side accounting.
+type RxStats struct {
+	// Packets and Bytes count received voice (payload bytes).
+	Packets, Bytes int64
+	// Lost is the sequence-gap estimate of network loss.
+	Lost int64
+	// Reordered and Duplicates count out-of-order and repeated arrivals.
+	Reordered, Duplicates int64
+	// Jitter is the RFC 3550 interarrival jitter estimate.
+	Jitter time.Duration
+}
+
+// Loss returns the cumulative loss fraction in [0,1].
+func (s RxStats) Loss() float64 {
+	total := s.Packets + s.Lost
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Lost) / float64(total)
+}
+
+// Stats snapshots the flow's receiver-side accounting.
+func (f *Flow) Stats() RxStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return RxStats{
+		Packets:    f.rx.packets,
+		Bytes:      f.rx.bytes,
+		Lost:       f.rx.lost,
+		Reordered:  f.rx.reordered,
+		Duplicates: f.rx.duplicates,
+		Jitter:     f.rx.jitter,
+	}
+}

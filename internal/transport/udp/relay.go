@@ -1,0 +1,138 @@
+package udp
+
+import (
+	"fmt"
+	"sync"
+
+	"asap/internal/transport"
+)
+
+// RelayServer is the last rung of the traversal ladder: when hole
+// punching fails (symmetric NATs), both endpoints bind the same flow
+// token on a relay outside their NATs and the relay forwards each
+// side's voice packets to the other. The handshake follows the
+// relay↔listener shape of PenguinCast's relay2peer protocol — both
+// parties announce themselves (PTRelayBind, re-sent as keepalive until
+// confirmed), the relay answers PTRelayBound once it has seen both, and
+// voice flows immediately after — except the flow identity rides the
+// packet SSRC field instead of a separate header, so relayed voice
+// packets are byte-identical to punched ones.
+//
+// In ASAP terms the relay is the chosen close-relay surrogate: the
+// control plane (MsgMediaRelayOpen) allocates the token; the data plane
+// here only forwards.
+type RelayServer struct {
+	conn transport.PacketConn
+
+	mu        sync.Mutex
+	flows     map[uint32]*relayFlow
+	nextToken uint32
+	forwarded int64
+}
+
+// relayFlow is one bound pair. a is the first endpoint to bind; bound
+// flips when the second arrives.
+type relayFlow struct {
+	a, b  transport.Addr
+	bound bool
+}
+
+// NewRelayServer binds a voice relay on addr over pnet.
+func NewRelayServer(pnet transport.PacketNetwork, addr transport.Addr) (*RelayServer, error) {
+	r := &RelayServer{flows: make(map[uint32]*relayFlow)}
+	conn, err := pnet.ListenPacket(addr, r.handle)
+	if err != nil {
+		return nil, fmt.Errorf("udp: relay listen: %w", err)
+	}
+	r.conn = conn
+	return r, nil
+}
+
+// Addr returns the relay's bound address.
+func (r *RelayServer) Addr() transport.Addr { return r.conn.LocalAddr() }
+
+// Close stops the relay.
+func (r *RelayServer) Close() error { return r.conn.Close() }
+
+// Allocate reserves a fresh flow token. The control plane hands the
+// token to both call endpoints; binds for unallocated tokens are also
+// accepted (first pair wins), so pure data-plane deployments work too.
+func (r *RelayServer) Allocate() uint32 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextToken++
+	r.flows[r.nextToken] = &relayFlow{}
+	return r.nextToken
+}
+
+// Forwarded reports the number of voice packets relayed so far.
+func (r *RelayServer) Forwarded() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.forwarded
+}
+
+// handle is the relay's packet loop: binds register endpoints, voice is
+// forwarded to the flow's other party. All I/O happens outside the lock
+// (snapshot, unlock, write — the lockio discipline).
+func (r *RelayServer) handle(from transport.Addr, data []byte) {
+	p, err := Parse(data)
+	if err != nil {
+		return
+	}
+	switch p.Type {
+	case PTRelayBind:
+		r.mu.Lock()
+		f := r.flows[p.SSRC]
+		if f == nil {
+			f = &relayFlow{}
+			r.flows[p.SSRC] = f
+		}
+		switch {
+		case f.a == "" || f.a == from:
+			f.a = from
+		case f.b == "" || f.b == from:
+			f.b = from
+		default:
+			// Two parties already hold the flow; a third is an impostor.
+			r.mu.Unlock()
+			return
+		}
+		f.bound = f.a != "" && f.b != ""
+		a, b, bound := f.a, f.b, f.bound
+		r.mu.Unlock()
+		if !bound {
+			return // first binder waits; its retries keep the bind alive
+		}
+		// Confirm to both parties (idempotent: bind retries re-confirm).
+		buf := GetBuf()
+		resp := Packet{Type: PTRelayBound, Seq: p.Seq, SSRC: p.SSRC}
+		buf = resp.AppendTo(buf)
+		_ = r.conn.WriteTo(a, buf)
+		_ = r.conn.WriteTo(b, buf)
+		PutBuf(buf)
+
+	case PTVoice:
+		r.mu.Lock()
+		f := r.flows[p.SSRC]
+		var dst transport.Addr
+		if f != nil && f.bound {
+			switch from {
+			case f.a:
+				dst = f.b
+			case f.b:
+				dst = f.a
+			}
+		}
+		if dst != "" {
+			r.forwarded++
+		}
+		r.mu.Unlock()
+		if dst == "" {
+			return // unknown flow or unbound: drop, as a relay must
+		}
+		// Forward the datagram unchanged: seq, timestamp and SSRC are
+		// end-to-end, so receiver-side jitter math spans the whole path.
+		_ = r.conn.WriteTo(dst, data)
+	}
+}
