@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt staticcheck govulncheck lint bench bench-parallel bench-virtualtime bench-dataplane timecheck test-experiments profile chaos check print-staticcheck-version print-govulncheck-version
+.PHONY: build test race vet fmt staticcheck govulncheck lint bench bench-parallel bench-virtualtime bench-dataplane bench-chaos-dataplane race-dataplane timecheck test-experiments profile chaos check print-staticcheck-version print-govulncheck-version
 
 build:
 	$(GO) build ./...
@@ -96,6 +96,21 @@ bench-virtualtime:
 # publishes the output as the BENCH_dataplane.json artifact.
 bench-dataplane:
 	$(GO) test -run '^$$' -bench 'DataplaneVoiceThroughput|DataplaneTraversalMatrix' -benchtime 1000x -count 3 .
+
+# bench-chaos-dataplane sweeps the 4x4 NAT traversal matrix under seeded
+# packet loss (5%/15%/30%), reporting the punch-success degradation
+# curve, relay-fallback fraction and p99 establishment latency — all on
+# the virtual clock, so everything except ns/op is deterministic. CI
+# publishes the output as the BENCH_chaosdataplane.json artifact.
+bench-chaos-dataplane:
+	$(GO) test -run '^$$' -bench 'ChaosDataplaneTraversal' -benchtime 20x -count 3 .
+
+# race-dataplane runs the media-plane packages (transport, NAT
+# emulation, session monitoring) under the race detector — the layers
+# that juggle keepalive timers, re-establishment and relay expiry
+# concurrently.
+race-dataplane:
+	$(GO) test -race -count=1 ./internal/transport/... ./internal/nat/... ./internal/session/...
 
 # timecheck is kept as an alias for muscle memory: the old grep gate was
 # replaced by the schedtime analyzer in asaplint, which also catches

@@ -1,0 +1,162 @@
+// Chaos data-plane benchmarks (make bench-chaos-dataplane): the 4x4 NAT
+// traversal matrix re-run under seeded packet loss, one sub-benchmark per
+// loss rate. The reported punch-success / establish-success / relay
+// fractions trace the degradation curve of the traversal ladder as the
+// public network gets worse — on the virtual clock, so every metric
+// except ns/op is deterministic and diffable across commits.
+package asap_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"asap/internal/nat"
+	"asap/internal/sim"
+	"asap/internal/transport"
+	"asap/internal/transport/udp"
+)
+
+// chaosLossRates is the loss sweep: mild jitter-buffer territory, heavy
+// congestion, and outright pathological loss.
+var chaosLossRates = []float64{0.05, 0.15, 0.30}
+
+// BenchmarkChaosDataplaneTraversal climbs the ladder for every NAT
+// pairing under each loss rate. Metrics per rate:
+//
+//	establish-success — pairs that landed on any rung at all
+//	punch-success     — pairs that landed direct or punched (no relay);
+//	                    0.8125 on a clean network (13 of 16 pairings —
+//	                    three are forced onto the relay by symmetric
+//	                    NATs), so any drop below that is loss pushing
+//	                    calls onto the relay
+//	relay-fraction    — established pairs that needed the relay rung
+//	p99-establish-ms  — p99 virtual-time setup cost, relay rungs included
+func BenchmarkChaosDataplaneTraversal(b *testing.B) {
+	for _, loss := range chaosLossRates {
+		loss := loss
+		b.Run(fmt.Sprintf("loss%d", int(loss*100+0.5)), func(b *testing.B) {
+			var established, punched, relayed, total int
+			var latencies []time.Duration
+			for i := 0; i < b.N; i++ {
+				established, punched, relayed, total = 0, 0, 0, 0
+				latencies = latencies[:0]
+				for _, ta := range nat.Types {
+					for _, tb := range nat.Types {
+						total++
+						seed := int64(ta)*37 + int64(tb)*11 + int64(loss*100)
+						kind, d, ok := chaosTraversePair(b, ta, tb, loss, seed)
+						if !ok {
+							continue
+						}
+						established++
+						latencies = append(latencies, d)
+						if kind == udp.PathRelayed {
+							relayed++
+						} else {
+							punched++
+						}
+					}
+				}
+			}
+			b.ReportMetric(float64(established)/float64(total), "establish-success")
+			b.ReportMetric(float64(punched)/float64(total), "punch-success")
+			if established > 0 {
+				b.ReportMetric(float64(relayed)/float64(established), "relay-fraction")
+			}
+			sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+			if n := len(latencies); n > 0 {
+				p99 := latencies[(n*99+99)/100-1]
+				b.ReportMetric(float64(p99)/float64(time.Millisecond), "p99-establish-ms")
+			}
+		})
+	}
+}
+
+// chaosTraversePair is traversePair with a Chaos packet decorator under
+// the NAT boxes: every public datagram — Syns, STUN, relay binds — rolls
+// the seeded loss dice. Returns the caller's landing rung, the virtual
+// establishment latency, and whether both sides came up.
+func chaosTraversePair(b *testing.B, ta, tb nat.Type, loss float64, seed int64) (udp.PathKind, time.Duration, bool) {
+	b.Helper()
+	clk := sim.NewClock()
+	pub := transport.NewMem()
+	pub.Sched = clk
+	pub.Latency = func(from, to transport.Addr) time.Duration { return 5 * time.Millisecond }
+	defer func() { _ = pub.Close() }()
+
+	chaos := transport.NewChaos(nil, seed)
+	chaos.Sched = clk
+	chaos.DropDefault(loss)
+	lossy := chaos.PacketNetwork(pub)
+
+	stun, err := udp.NewSTUNServer(lossy, "stun.example:3478")
+	if err != nil {
+		b.Fatal(err)
+	}
+	relay, err := udp.NewRelayServer(lossy, "relay.example:5000")
+	if err != nil {
+		b.Fatal(err)
+	}
+	boxA := nat.New(ta, lossy, "203.0.113.1", 40000)
+	boxB := nat.New(tb, lossy, "198.51.100.1", 41000)
+	defer func() { _ = boxA.Close(); _ = boxB.Close() }()
+
+	cfg := udp.DefaultConfig()
+	cfg.StunTries = 12 // measure the ladder under loss, not STUN retry luck
+	epA, err := udp.NewEndpoint(boxA, clk, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	epB, err := udp.NewEndpoint(boxB, clk, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	token := relay.Allocate()
+	fa, err := epA.Open("10.0.0.2:5000", token)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fb, err := epB.Open("192.168.1.2:5000", token)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	var start, end time.Duration
+	var kind udp.PathKind
+	ok := true
+	clk.RunTask(func() {
+		extA, err := fa.Discover(stun.Addr())
+		if err != nil {
+			ok = false
+			return
+		}
+		extB, err := fb.Discover(stun.Addr())
+		if err != nil {
+			ok = false
+			return
+		}
+		start = clk.Now()
+		done := 0
+		dw := clk.NewWaiter()
+		est := func(f *udp.Flow, peer transport.Addr, caller bool) {
+			clk.Go(func() {
+				k, err := f.Establish(peer, relay.Addr(), caller)
+				if err != nil {
+					ok = false
+				} else if caller {
+					kind = k
+				}
+				if done++; done == 2 {
+					dw.Wake()
+				}
+			})
+		}
+		est(fa, extB, true)
+		est(fb, extA, false)
+		dw.Wait(-1)
+		end = clk.Now()
+	})
+	return kind, end - start, ok
+}

@@ -59,6 +59,20 @@
 // With -session the voice stream keeps running for the whole call, its
 // receiver-side loss/jitter feeds the session monitor's MOS, and media
 // statistics appear in the status lines and the final report.
+//
+// Media-plane resilience: when the session monitor switches or fails
+// over the relay, the media flow re-runs its traversal ladder mid-call
+// — same socket, same SSRC, continuous receive stats — instead of the
+// call tearing down; -media-keepalive additionally arms in-band media
+// keepalives so a silent flow re-establishes on its own even without
+// the monitor. Status lines report the current path rung and the
+// re-establishment count. The bootstrap's relay hardens its lifecycle
+// with -relay-ttl (idle flows expire), -relay-max-flows (per-source
+// allocation quota) and -media-relay-key: when the same key is set on
+// the bootstrap and the peers, every relay bind must carry an
+// HMAC-derived flow token proof, so off-path spoofers can't capture a
+// flow's relay slot. Expiry, quota and auth rejections are printed as
+// relay lifecycle events.
 package main
 
 import (
@@ -106,10 +120,15 @@ func run(args []string) error {
 		// Voice data plane (real UDP).
 		stunListen  = fs.String("stun-listen", "", "bootstrap: run a STUN discovery server on this UDP address")
 		relayListen = fs.String("relay-listen", "", "bootstrap: run a voice relay on this UDP address")
+		relayTTL    = fs.Duration("relay-ttl", time.Minute, "bootstrap: expire relay flows idle this long (0 = never)")
+		relayQuota  = fs.Int("relay-max-flows", 0, "bootstrap: max concurrent relay flows per source host (0 = unlimited)")
 		mediaHost   = fs.String("media-listen", "", "peer: enable the UDP voice data plane; media sockets bind on this host")
 		stunAddr    = fs.String("stun", "", "peer: STUN server for media address discovery (required with -media-listen)")
 		mediaRelay  = fs.String("media-relay", "", "peer: voice relay for the traversal ladder's last rung")
+		mediaKey    = fs.String("media-relay-key", "", "shared secret authenticating relay binds (bootstrap: relay side; peer: proof side)")
 		mediaRate   = fs.Duration("media-rate", 20*time.Millisecond, "peer: voice packet spacing for the media stream")
+		mediaKaIvl  = fs.Duration("media-keepalive", 0, "peer: media-flow keepalive cadence; silence re-runs the traversal ladder (0 = off)")
+		mediaKaMiss = fs.Int("media-keepalive-misses", 3, "peer: missed media keepalives before the flow counts as silent")
 
 		// Live session monitoring (peer role, with -call).
 		monitored = fs.Bool("session", false, "peer: keep the -call open under the session monitor (quality probes, keepalives, failover)")
@@ -160,11 +179,25 @@ func run(args []string) error {
 				fmt.Printf("  stun server on %s\n", st.Addr())
 			}
 			if *relayListen != "" {
-				rl, err := udp.NewRelayServer(live, transport.Addr(*relayListen))
+				rl, err := udp.NewRelayServerWith(live, transport.Addr(*relayListen), sim.NewWall(), udp.RelayConfig{
+					FlowTTL:           *relayTTL,
+					MaxFlowsPerSource: *relayQuota,
+					Secret:            []byte(*mediaKey),
+				})
 				if err != nil {
 					return err
 				}
-				fmt.Printf("  voice relay on %s\n", rl.Addr())
+				// Lifecycle events worth operator attention: idle-flow
+				// expiry, quota rejections and failed bind authentication.
+				// Bind/unbind chatter stays quiet.
+				rl.SetEventLog(func(e udp.RelayEvent) {
+					switch e.Kind {
+					case "expire", "quota-reject", "auth-reject":
+						fmt.Printf("  relay %v\n", e)
+					}
+				})
+				fmt.Printf("  voice relay on %s (ttl %v, quota %d/source, auth %v)\n",
+					rl.Addr(), *relayTTL, *relayQuota, *mediaKey != "")
 			}
 		}
 		waitForSignal()
@@ -198,6 +231,9 @@ func run(args []string) error {
 			if err := node.EnableMedia(core.MediaConfig{
 				Net: live, ListenHost: *mediaHost,
 				STUN: transport.Addr(*stunAddr), Relay: transport.Addr(*mediaRelay),
+				RelayKey:          []byte(*mediaKey),
+				KeepaliveInterval: *mediaKaIvl,
+				KeepaliveMisses:   *mediaKaMiss,
 			}); err != nil {
 				return err
 			}
@@ -387,6 +423,17 @@ func runMonitoredCall(node *core.Node, callee transport.Addr, choice *core.Relay
 	}
 	if mc != nil {
 		sess.AttachMedia(mc.MediaSource())
+		// Media follows control: when the monitor switches or fails over
+		// the session relay, re-run the traversal ladder mid-call so the
+		// voice path recovers too — same flow, same SSRC, stats continue.
+		sess.OnPathChange(func(transport.Addr) {
+			k, err := mc.Reestablish(mc.Relay())
+			if err != nil {
+				fmt.Printf("  media re-establish failed: %v\n", err)
+				return
+			}
+			fmt.Printf("  media re-established: %s (external %s)\n", k, mc.External())
+		})
 		stopStream := make(chan struct{})
 		defer close(stopStream)
 		go func() {
@@ -465,12 +512,14 @@ func streamBurst(mc *core.MediaCall, payload []byte, rate, dur time.Duration) {
 	}
 }
 
-// printMediaStats reports the media call's send/receive accounting.
+// printMediaStats reports the media call's send/receive accounting,
+// including the path rung it currently runs on and how many times the
+// flow was re-established mid-call.
 func printMediaStats(mc *core.MediaCall) {
 	st := mc.Flow().Stats()
-	fmt.Printf("  media %s: sent %d, received %d (%d bytes), lost %d (%.1f%%), reordered %d, jitter %v\n",
+	fmt.Printf("  media %s: sent %d, received %d (%d bytes), lost %d (%.1f%%), reordered %d, jitter %v, reestablished %d\n",
 		mc.Path(), mc.Flow().Sent(), st.Packets, st.Bytes, st.Lost, 100*st.Loss(), st.Reordered,
-		st.Jitter.Round(time.Microsecond))
+		st.Jitter.Round(time.Microsecond), mc.Reestablishments())
 }
 
 func toCandidates(ranked []core.RelayCandidate) []session.Candidate {

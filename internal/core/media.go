@@ -39,6 +39,20 @@ type MediaConfig struct {
 	// Relay is the voice relay for the ladder's last rung (empty = no
 	// relay rung; calls that cannot punch fail).
 	Relay transport.Addr
+	// RelayKey is the relay's HMAC flow-token secret. When set, every
+	// flow presents udp.RelayProof(RelayKey, token) in its relay binds,
+	// which an authenticated relay (udp.RelayConfig.Secret) demands.
+	// Empty means the relay is open.
+	RelayKey []byte
+	// KeepaliveInterval arms media-plane liveness beacons on every flow
+	// (udp.Flow.StartKeepalive): both endpoints beacon at this cadence,
+	// and KeepaliveMisses silent intervals declare the path dead — on
+	// the caller side that triggers automatic re-establishment onto the
+	// current relay. Zero disables keepalives (the seed behaviour).
+	KeepaliveInterval time.Duration
+	// KeepaliveMisses is the silence threshold in intervals (min 1;
+	// default 3 when KeepaliveInterval is set).
+	KeepaliveMisses int
 	// UDP tunes the traversal ladder; the zero value means
 	// udp.DefaultConfig.
 	UDP udp.Config
@@ -102,15 +116,18 @@ func (n *Node) newMediaToken() uint32 {
 // underlying UDP flow, the traversal outcome, and the discovered
 // external address.
 type MediaCall struct {
-	node *Node
-	flow *udp.Flow
-	peer transport.Addr // control-plane peer address
-	ext  transport.Addr // our STUN-discovered external media address
+	node     *Node
+	flow     *udp.Flow
+	peer     transport.Addr // control-plane peer address
+	isCaller bool           // callers drive re-establishment; callees follow
 
-	mu   sync.Mutex
-	path udp.PathKind
-	err  error
-	done sim.Waiter
+	mu    sync.Mutex
+	ext   transport.Addr // our STUN-discovered external media address
+	relay transport.Addr // current voice relay (moves on re-establish)
+	epoch uint32         // re-establishment round (MsgMediaReestablish)
+	path  udp.PathKind
+	err   error
+	done  sim.Waiter
 }
 
 // Flow exposes the call's voice flow (send, stats, voice handler).
@@ -119,8 +136,25 @@ func (mc *MediaCall) Flow() *udp.Flow { return mc.flow }
 // Peer returns the control-plane address of the call's other endpoint.
 func (mc *MediaCall) Peer() transport.Addr { return mc.peer }
 
-// External returns our discovered external media address.
-func (mc *MediaCall) External() transport.Addr { return mc.ext }
+// External returns our discovered external media address (re-discovered
+// on every re-establishment round).
+func (mc *MediaCall) External() transport.Addr {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	return mc.ext
+}
+
+// Relay returns the voice relay the call currently binds (empty when the
+// ladder has no relay rung).
+func (mc *MediaCall) Relay() transport.Addr {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	return mc.relay
+}
+
+// Reestablishments reports how many mid-call re-establishments the
+// call's flow has completed.
+func (mc *MediaCall) Reestablishments() int64 { return mc.flow.Reestablishments() }
 
 // Path returns the traversal outcome (PathNone while climbing).
 func (mc *MediaCall) Path() udp.PathKind {
@@ -227,12 +261,15 @@ func (n *Node) SetupMedia(callee transport.Addr) (*MediaCall, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: media socket: %w", err)
 	}
+	if len(cfg.RelayKey) > 0 {
+		flow.SetRelayAuth(udp.RelayProof(cfg.RelayKey, token))
+	}
 	ext, err := flow.Discover(cfg.STUN)
 	if err != nil {
 		_ = flow.Close()
 		return nil, fmt.Errorf("core: media discovery: %w", err)
 	}
-	mc := &MediaCall{node: n, flow: flow, peer: callee, ext: ext}
+	mc := &MediaCall{node: n, flow: flow, peer: callee, isCaller: true, ext: ext, relay: cfg.Relay}
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
@@ -256,6 +293,7 @@ func (n *Node) SetupMedia(callee transport.Addr) (*MediaCall, error) {
 		_ = mc.Close()
 		return nil, fmt.Errorf("core: media path: %w", err)
 	}
+	n.startMediaKeepalive(mc)
 	return mc, nil
 }
 
@@ -277,24 +315,27 @@ func (n *Node) handleMediaSetup(from transport.Addr, req *transport.Message) (*t
 	if prior != nil {
 		// The caller's control-plane retry re-delivered the setup: the
 		// ladder is already running; just re-answer.
-		return &transport.Message{Type: transport.MsgMediaSetupReply, MediaAddr: prior.ext}, nil
+		return &transport.Message{Type: transport.MsgMediaSetupReply, MediaAddr: prior.External()}, nil
 	}
 	flow, err := ep.Open(n.nextMediaAddr(), req.MediaToken)
 	if err != nil {
 		return nil, fmt.Errorf("core: media socket: %w", err)
+	}
+	if len(cfg.RelayKey) > 0 {
+		flow.SetRelayAuth(udp.RelayProof(cfg.RelayKey, req.MediaToken))
 	}
 	ext, err := flow.Discover(cfg.STUN)
 	if err != nil {
 		_ = flow.Close()
 		return nil, fmt.Errorf("core: media discovery: %w", err)
 	}
-	mc := &MediaCall{node: n, flow: flow, peer: from, ext: ext}
+	mc := &MediaCall{node: n, flow: flow, peer: from, ext: ext, relay: cfg.Relay}
 	n.mu.Lock()
 	if other := n.mediaCalls[req.MediaToken]; other != nil {
 		// A concurrent retry beat us while we were discovering.
 		n.mu.Unlock()
 		_ = flow.Close()
-		return &transport.Message{Type: transport.MsgMediaSetupReply, MediaAddr: other.ext}, nil
+		return &transport.Message{Type: transport.MsgMediaSetupReply, MediaAddr: other.External()}, nil
 	}
 	n.mediaCalls[req.MediaToken] = mc
 	n.mu.Unlock()
@@ -305,7 +346,142 @@ func (n *Node) handleMediaSetup(from transport.Addr, req *transport.Message) (*t
 			defer n.bgDone()
 			kind, err := flow.Establish(peerExt, cfg.Relay, false)
 			mc.finish(kind, err)
+			if err == nil {
+				n.startMediaKeepalive(mc)
+			}
 		})
 	}
 	return &transport.Message{Type: transport.MsgMediaSetupReply, MediaAddr: ext}, nil
+}
+
+// --- Mid-call re-establishment ---
+
+// Reestablish re-runs the traversal ladder mid-call against relay — the
+// caller-side driver of media-plane resilience. It is invoked when the
+// session monitor switches or fails over relays (Session.OnPathChange)
+// or when keepalive silence declares the media path dead. The flow, its
+// SSRC and its receive accounting survive: the peer sees one continuous
+// stream and RFC 3550 stats span the switch. Blocks the calling
+// scheduler task until the ladder lands (or fails). Only the caller
+// drives — the callee's half runs from handleMediaReestablish.
+func (mc *MediaCall) Reestablish(relay transport.Addr) (udp.PathKind, error) {
+	if !mc.isCaller {
+		return udp.PathNone, fmt.Errorf("core: only the calling side drives media re-establishment")
+	}
+	n := mc.node
+	n.mu.Lock()
+	cfg := n.mediaCfg
+	n.mu.Unlock()
+
+	// One epoch per attempt: control-plane retries of this round carry
+	// the same number, so the callee acts once and re-answers duplicates.
+	mc.mu.Lock()
+	mc.epoch++
+	epoch := mc.epoch
+	mc.mu.Unlock()
+
+	// Re-discover our external address — the very failure that brought us
+	// here may have been a NAT rebind.
+	ext, err := mc.flow.Discover(cfg.STUN)
+	if err != nil {
+		return udp.PathNone, fmt.Errorf("core: media re-discovery: %w", err)
+	}
+	mc.mu.Lock()
+	mc.ext = ext
+	mc.mu.Unlock()
+
+	resp, err := n.retryCall(mc.peer, &transport.Message{
+		Type: transport.MsgMediaReestablish, From: n.addr,
+		MediaAddr: ext, MediaToken: mc.flow.SSRC(),
+		MediaRelay: relay, MediaEpoch: epoch,
+	})
+	if err != nil {
+		return udp.PathNone, fmt.Errorf("core: media re-establish: %w", err)
+	}
+	kind, err := mc.flow.Reestablish(resp.MediaAddr, relay, true)
+	mc.finish(kind, err)
+	if err == nil {
+		mc.mu.Lock()
+		mc.relay = relay
+		mc.mu.Unlock()
+	}
+	return kind, err
+}
+
+// handleMediaReestablish is the callee half of Reestablish: bump the
+// call's epoch (ignoring rounds already acted on — the idempotency the
+// control plane's retries demand), re-discover our external address,
+// restart our half of the ladder in the background against the new
+// relay, and answer with the address. Like setup, the handler blocks
+// only for the STUN round trip so both sides climb simultaneously.
+func (n *Node) handleMediaReestablish(from transport.Addr, req *transport.Message) (*transport.Message, error) {
+	n.mu.Lock()
+	ep, cfg := n.media, n.mediaCfg
+	mc := n.mediaCalls[req.MediaToken]
+	n.mu.Unlock()
+	if ep == nil {
+		return nil, fmt.Errorf("core: media plane not enabled")
+	}
+	if mc == nil {
+		return nil, fmt.Errorf("core: no media call for token %08x", req.MediaToken)
+	}
+	mc.mu.Lock()
+	if req.MediaEpoch <= mc.epoch {
+		// A retry of a round we already started (or an out-of-order
+		// older round): our ladder half is running; just re-answer.
+		ext := mc.ext
+		mc.mu.Unlock()
+		return &transport.Message{Type: transport.MsgMediaReestablishReply, MediaAddr: ext}, nil
+	}
+	mc.epoch = req.MediaEpoch
+	mc.relay = req.MediaRelay
+	mc.mu.Unlock()
+
+	ext, err := mc.flow.Discover(cfg.STUN)
+	if err != nil {
+		return nil, fmt.Errorf("core: media re-discovery: %w", err)
+	}
+	mc.mu.Lock()
+	mc.ext = ext
+	mc.mu.Unlock()
+
+	peerExt, relay := req.MediaAddr, req.MediaRelay
+	if n.bgStart() {
+		n.sched.Go(func() {
+			defer n.bgDone()
+			kind, err := mc.flow.Reestablish(peerExt, relay, false)
+			mc.finish(kind, err)
+		})
+	}
+	return &transport.Message{Type: transport.MsgMediaReestablishReply, MediaAddr: ext}, nil
+}
+
+// startMediaKeepalive arms the flow's liveness beacon per MediaConfig.
+// Both endpoints beacon; only the caller reacts to silence, by
+// re-running the ladder against the call's current relay — one driver
+// per call, so the two sides cannot fight over the ladder.
+func (n *Node) startMediaKeepalive(mc *MediaCall) {
+	n.mu.Lock()
+	cfg := n.mediaCfg
+	n.mu.Unlock()
+	if cfg.KeepaliveInterval <= 0 {
+		return
+	}
+	misses := cfg.KeepaliveMisses
+	if misses < 1 {
+		misses = 3
+	}
+	var onSilent func()
+	if mc.isCaller {
+		onSilent = func() {
+			if !n.bgStart() {
+				return
+			}
+			n.sched.Go(func() {
+				defer n.bgDone()
+				_, _ = mc.Reestablish(mc.Relay())
+			})
+		}
+	}
+	mc.flow.StartKeepalive(cfg.KeepaliveInterval, misses, onSilent)
 }

@@ -529,6 +529,9 @@ func (n *Node) handle(from transport.Addr, req *transport.Message) (*transport.M
 	case transport.MsgMediaSetup:
 		return n.handleMediaSetup(from, req)
 
+	case transport.MsgMediaReestablish:
+		return n.handleMediaReestablish(from, req)
+
 	case transport.MsgQualityReport:
 		n.mu.Lock()
 		n.quality[from] = QualityReport{RTT: req.RTT, Loss: req.Loss, At: n.sched.Now()}

@@ -525,6 +525,13 @@ func (m *Manager) switchToLocked(s *Session, idx int, quality bool) {
 	} else {
 		s.state = StateActive
 	}
+	if fn := s.onPathChange; fn != nil {
+		// Deliver on a fresh scheduler task: the hook re-runs the media
+		// traversal ladder, which blocks and does I/O — neither belongs
+		// under the manager lock.
+		relay := next.Relay
+		m.clk.After(0, func() { fn(relay) })
+	}
 }
 
 // --- Keepalive / failure detection ---

@@ -116,12 +116,28 @@ type Session struct {
 	lastMedia MediaStats
 	mediaSeen bool
 
+	// onPathChange, when set, is invoked (on its own scheduler task,
+	// outside the manager lock) every time the session's active path
+	// moves — quality switch or failover — with the new relay address.
+	// The media plane hooks this to re-run its traversal ladder against
+	// the new relay (core.MediaCall.Reestablish).
+	onPathChange func(newRelay transport.Addr)
+
 	activeMOS float64
 	switches  int
 	failovers int
 	mosSum    float64
 	mosN      int
 	history   []Sample
+}
+
+// OnPathChange installs the path-change hook. Pass nil to clear. The
+// callback runs as its own scheduler task after the switch commits, so
+// it may call back into the session or manager freely.
+func (s *Session) OnPathChange(fn func(newRelay transport.Addr)) {
+	s.mgr.mu.Lock()
+	defer s.mgr.mu.Unlock()
+	s.onPathChange = fn
 }
 
 // ID returns the session's manager-scoped identifier.

@@ -544,3 +544,51 @@ func TestProbesConcurrentAcrossSessionsWallClock(t *testing.T) {
 	}
 	m.Close()
 }
+
+// TestOnPathChangeHook: every path move — failure-driven or
+// quality-driven — must invoke the session's OnPathChange hook with the
+// new relay, outside the manager lock (the hook re-enters the session
+// freely; the media plane re-runs its traversal ladder from it).
+func TestOnPathChangeHook(t *testing.T) {
+	clk := &sim.Clock{}
+	const failAt = 10 * time.Second
+	drv := &scriptDriver{
+		clk: clk,
+		probe: steadyProbe(
+			map[transport.Addr]time.Duration{"r0": 120 * time.Millisecond, "r1": 160 * time.Millisecond},
+			map[transport.Addr]float64{"r0": 0.005, "r1": 0.005},
+		),
+		deadFrom: map[transport.Addr]time.Duration{"r0": failAt},
+	}
+	m, err := NewManager(testConfig(), clk, drv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.Open("bob",
+		Candidate{Relay: "r0", Est: 120 * time.Millisecond},
+		[]Candidate{{Relay: "r1", Est: 160 * time.Millisecond}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var changes []transport.Addr
+	s.OnPathChange(func(newRelay transport.Addr) {
+		// Re-entering the session here must not deadlock: the hook runs
+		// on its own scheduler task after the switch commits.
+		_ = s.Active()
+		changes = append(changes, newRelay)
+	})
+	m.Start()
+
+	clk.RunUntil(failAt - 100*time.Millisecond)
+	if len(changes) != 0 {
+		t.Fatalf("hook fired %d times before any path change", len(changes))
+	}
+	clk.RunUntil(failAt + 30*time.Second)
+	if len(changes) != 1 || changes[0] != "r1" {
+		t.Errorf("hook calls = %v, want exactly [r1] after the failover", changes)
+	}
+	if s.Failovers() != 1 {
+		t.Errorf("failovers = %d, want 1", s.Failovers())
+	}
+	m.Close()
+}

@@ -86,6 +86,20 @@ const (
 	// traversal ladder (direct -> punched -> relayed) simultaneously.
 	MsgMediaSetup
 	MsgMediaSetupReply
+
+	// MsgMediaReestablish: caller -> callee. Re-runs the traversal ladder
+	// for an already-established media flow, mid-call — after the session
+	// monitor switched relays or keepalive silence declared the media
+	// path dead. Carries the caller's freshly re-discovered external
+	// address, the flow token (identifying which call), the new relay's
+	// media address, and a monotonically increasing epoch so control
+	// retries are idempotent: the callee re-answers an epoch it has
+	// already acted on without restarting its ladder. The reply returns
+	// the callee's re-discovered external address, after which both sides
+	// climb direct -> punched -> relayed again on the same flow (same
+	// SSRC, same sockets, receive stats continuous).
+	MsgMediaReestablish
+	MsgMediaReestablishReply
 )
 
 // CloseEntry is one close-cluster-set entry on the wire.
@@ -168,4 +182,12 @@ type Message struct {
 	// endpoints stamp, and the token they bind on the voice relay when
 	// the ladder falls through to its relay rung (MsgMediaSetup).
 	MediaToken uint32
+	// MediaRelay is the voice-relay media address both endpoints should
+	// bind when re-running the ladder (MsgMediaReestablish) — the media
+	// plane of the relay the session monitor switched to.
+	MediaRelay Addr
+	// MediaEpoch orders re-establishment rounds for one media flow
+	// (MsgMediaReestablish): the callee acts once per epoch and re-answers
+	// duplicates, making the handshake idempotent under control retries.
+	MediaEpoch uint32
 }

@@ -146,10 +146,13 @@ type Flow struct {
 	mu          sync.Mutex
 	closed      bool
 	established bool
+	climbing    bool // an Establish/Reestablish ladder is running
 	path        PathKind
 	phase       PathKind       // ladder rung currently being attempted
 	peer        transport.Addr // voice destination (peer or relay)
 	relay       transport.Addr
+	relayProof  []byte     // HMAC flow-token proof carried in PTRelayBind
+	relayReject bool       // relay refused our bind (quota or auth)
 	estW        sim.Waiter // armed by the phase loops, woken on establish
 
 	stunW    sim.Waiter
@@ -158,7 +161,17 @@ type Flow struct {
 
 	seq     uint32 // next voice sequence number
 	sent    int64
+	reest   int64 // completed mid-call re-establishments
 	onVoice func(p Packet, from transport.Addr)
+
+	// Keepalive / silence detection (StartKeepalive).
+	kaTimer     sim.Timer
+	kaInterval  time.Duration
+	kaMisses    int
+	kaSeq       uint32
+	lastRecv    time.Duration // scheduler offset of the last inbound packet
+	silentFired bool          // onSilent fired for the current silence episode
+	onSilent    func()
 
 	rx rxState
 }
@@ -191,12 +204,67 @@ func (f *Flow) SetVoiceHandler(fn func(p Packet, from transport.Addr)) {
 	f.onVoice = fn
 }
 
-// Close shuts the flow's socket.
+// SetRelayAuth installs the HMAC flow-token proof (RelayProof) the flow
+// presents when binding an authenticated relay. The control plane mints
+// the relay secret and derives the proof per call; without one, binds to
+// a secret-bearing relay are rejected.
+func (f *Flow) SetRelayAuth(proof []byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.relayProof = append([]byte(nil), proof...)
+}
+
+// Reestablishments reports how many mid-call re-establishments the flow
+// has completed.
+func (f *Flow) Reestablishments() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.reest
+}
+
+// Close shuts the flow down: it releases any relay binding (PTRelayUnbind,
+// so the relay reclaims the flow entry immediately instead of waiting for
+// TTL expiry), stops the keepalive timer, wakes every parked ladder or
+// discovery task, and closes the socket. Close is idempotent and safe to
+// call concurrently with Establish, Reestablish, dispatch and keepalive
+// ticks: the first caller wins, the rest return nil.
 func (f *Flow) Close() error {
 	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
 	f.closed = true
+	estW, stunW, ka := f.estW, f.stunW, f.kaTimer
+	f.estW, f.stunW, f.kaTimer = nil, nil, nil
+	relay := f.relay
 	f.mu.Unlock()
+
+	if estW != nil {
+		estW.Wake()
+	}
+	if stunW != nil {
+		stunW.Wake()
+	}
+	if ka != nil {
+		ka.Stop()
+	}
+	if relay != "" {
+		// Best-effort: the datagram may be lost, in which case the
+		// relay's keepalive TTL is the backstop.
+		f.sendUnbind(relay)
+	}
 	return f.conn.Close()
+}
+
+// sendUnbind tells relay to drop our half of the flow. I/O only — no
+// flow state is touched (lockio: callers must not hold f.mu).
+func (f *Flow) sendUnbind(relay transport.Addr) {
+	buf := GetBuf()
+	p := Packet{Type: PTRelayUnbind, TS: f.sched.Now(), SSRC: f.ssrc}
+	buf = p.AppendTo(buf)
+	_ = f.conn.WriteTo(relay, buf)
+	PutBuf(buf)
 }
 
 // --- Discovery ---
@@ -252,33 +320,107 @@ func (f *Flow) Establish(peer, relay transport.Addr, caller bool) (PathKind, err
 		f.mu.Unlock()
 		return p, nil
 	}
+	if f.closed {
+		f.mu.Unlock()
+		return PathNone, transport.ErrPacketClosed
+	}
+	if f.climbing {
+		f.mu.Unlock()
+		return PathNone, fmt.Errorf("udp: flow %d establishment already in progress", f.ssrc)
+	}
+	f.climbing = true
+	f.peer = peer
+	f.relay = relay
+	f.relayReject = false
+	f.mu.Unlock()
+	defer f.climbDone()
+	return f.climb(peer, relay, caller)
+}
+
+// Reestablish re-runs the traversal ladder mid-call — after the session
+// monitor switched relays, or after keepalive silence — without tearing
+// the flow down: the socket, SSRC, send sequence and receive accounting
+// all survive, so RFC 3550 stats span the switch and the receiver sees
+// one continuous stream. peer is the peer's freshly re-discovered
+// external address; relay the (possibly new) relay. Callers re-exchange
+// addresses over the control plane first (MsgMediaReestablish), exactly
+// as at setup. A concurrent ladder run is refused rather than queued —
+// control retries re-invoke on their own cadence.
+func (f *Flow) Reestablish(peer, relay transport.Addr, caller bool) (PathKind, error) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return PathNone, transport.ErrPacketClosed
+	}
+	if f.climbing {
+		f.mu.Unlock()
+		return PathNone, fmt.Errorf("udp: flow %d re-establishment already in progress", f.ssrc)
+	}
+	f.climbing = true
+	oldRelay := transport.Addr("")
+	if f.path == PathRelayed && f.relay != "" && f.relay != relay {
+		oldRelay = f.relay // release the dead rung's binding, best-effort
+	}
+	f.established = false
+	f.path = PathNone
+	f.phase = PathNone
+	f.relayReject = false
+	f.silentFired = false
+	f.lastRecv = f.sched.Now() // silence clock restarts with the ladder
 	f.peer = peer
 	f.relay = relay
 	f.mu.Unlock()
+	defer f.climbDone()
 
+	if oldRelay != "" {
+		f.sendUnbind(oldRelay)
+	}
+	kind, err := f.climb(peer, relay, caller)
+	if err == nil {
+		f.mu.Lock()
+		f.reest++
+		f.mu.Unlock()
+	}
+	return kind, err
+}
+
+func (f *Flow) climbDone() {
+	f.mu.Lock()
+	f.climbing = false
+	f.mu.Unlock()
+}
+
+// climb runs the three-rung ladder. Callers hold the climbing guard.
+func (f *Flow) climb(peer, relay transport.Addr, caller bool) (PathKind, error) {
 	// Phase 1 — direct: only the caller sends; a callee that Syn'd too
 	// would already be punching. If the callee's NAT admits unsolicited
 	// datagrams the Ack comes straight back.
 	if caller {
 		if f.synLoop(PathDirect, f.cfg.DirectBudget, PTSyn) {
-			return PathDirect, nil
+			return f.Path(), nil
 		}
 	} else if f.waitPhase(PathDirect, f.cfg.DirectBudget) {
-		return PathDirect, nil
+		return f.Path(), nil
 	}
 
 	// Phase 2 — simultaneous open: both sides Syn. Outbound datagrams
 	// open each NAT's own mapping; whichever inbound Syn or Ack lands
 	// first proves the hole.
 	if f.synLoop(PathPunched, f.cfg.PunchBudget, PTSyn) {
-		return PathPunched, nil
+		return f.Path(), nil
 	}
 
 	// Phase 3 — relay: both sides bind the flow token on the relay and
 	// wait for its confirmation.
 	if relay != "" {
 		if f.synLoop(PathRelayed, f.cfg.RelayBudget, PTRelayBind) {
-			return PathRelayed, nil
+			return f.Path(), nil
+		}
+		f.mu.Lock()
+		rejected := f.relayReject
+		f.mu.Unlock()
+		if rejected {
+			return PathNone, fmt.Errorf("udp: relay %s rejected flow %d (quota or auth)", relay, f.ssrc)
 		}
 	}
 	return PathNone, fmt.Errorf("udp: no path to %s (direct, punch and relay all failed)", peer)
@@ -299,18 +441,26 @@ func (f *Flow) synLoop(phase PathKind, budget time.Duration, pt PacketType) bool
 			f.mu.Unlock()
 			return est
 		}
+		if pt == PTRelayBind && f.relayReject {
+			// The relay said no (quota or bad proof); retrying would only
+			// burn the budget against a firm refusal.
+			f.mu.Unlock()
+			return false
+		}
 		f.phase = phase
 		w := f.sched.NewWaiter()
 		f.estW = w
 		to := f.peer
+		var payload []byte
 		if pt == PTRelayBind {
 			to = f.relay
+			payload = f.relayProof // proof of token ownership, if minted
 		}
 		f.mu.Unlock()
 
 		attempt++
 		buf := GetBuf()
-		p := Packet{Type: pt, Seq: attempt, TS: f.sched.Now(), SSRC: f.ssrc}
+		p := Packet{Type: pt, Seq: attempt, TS: f.sched.Now(), SSRC: f.ssrc, Payload: payload}
 		buf = p.AppendTo(buf)
 		_ = f.conn.WriteTo(to, buf) // loss is the medium's prerogative
 		PutBuf(buf)
@@ -406,6 +556,70 @@ func (f *Flow) Sent() int64 {
 	return f.sent
 }
 
+// --- Keepalive / silence detection ---
+
+// StartKeepalive arms the media-plane liveness beacon. Every interval
+// the flow sends a PTKeepalive to its current destination (once
+// established) — which also refreshes the relay's flow TTL when the
+// path is relayed — and checks for silence: if no media-path packet
+// (voice, keepalive or punch traffic) has arrived for misses intervals,
+// onSilent fires once per silence episode, from its own scheduler task.
+// The episode re-arms when traffic resumes or the flow re-establishes;
+// the timer chain stops at Close. Calling StartKeepalive twice is a
+// no-op.
+func (f *Flow) StartKeepalive(interval time.Duration, misses int, onSilent func()) {
+	if interval <= 0 || misses < 1 {
+		return
+	}
+	f.mu.Lock()
+	if f.closed || f.kaTimer != nil {
+		f.mu.Unlock()
+		return
+	}
+	f.kaInterval = interval
+	f.kaMisses = misses
+	f.onSilent = onSilent
+	f.lastRecv = f.sched.Now()
+	f.kaTimer = f.sched.AfterFunc(interval, f.kaTick)
+	f.mu.Unlock()
+}
+
+// kaTick is one beat of the keepalive chain: send, check silence,
+// re-arm. All I/O and the onSilent callback run outside the lock.
+func (f *Flow) kaTick() {
+	f.mu.Lock()
+	if f.closed || f.kaTimer == nil {
+		f.mu.Unlock()
+		return
+	}
+	now := f.sched.Now()
+	var to transport.Addr
+	if f.established {
+		to = f.peer
+	}
+	var fire func()
+	if f.established && !f.climbing && !f.silentFired &&
+		now-f.lastRecv >= f.kaInterval*time.Duration(f.kaMisses) {
+		f.silentFired = true
+		fire = f.onSilent
+	}
+	f.kaSeq++
+	seq := f.kaSeq
+	f.kaTimer = f.sched.AfterFunc(f.kaInterval, f.kaTick)
+	f.mu.Unlock()
+
+	if to != "" {
+		buf := GetBuf()
+		p := Packet{Type: PTKeepalive, Seq: seq, TS: f.sched.Now(), SSRC: f.ssrc}
+		buf = p.AppendTo(buf)
+		_ = f.conn.WriteTo(to, buf)
+		PutBuf(buf)
+	}
+	if fire != nil {
+		fire()
+	}
+}
+
 // --- Inbound dispatch ---
 
 // dispatch is the flow's packet loop. It answers discovery and punch
@@ -422,6 +636,15 @@ func (f *Flow) dispatch(from transport.Addr, data []byte) {
 	p, err := Parse(data)
 	if err != nil || p.SSRC != f.ssrc {
 		return
+	}
+	if p.Type != PTStunResp && p.Type != PTRelayReject {
+		// Any media-path packet — voice, keepalive, punch traffic —
+		// counts as liveness and re-arms silence detection. STUN answers
+		// and relay refusals come from infrastructure, not the path.
+		f.mu.Lock()
+		f.lastRecv = f.sched.Now()
+		f.silentFired = false
+		f.mu.Unlock()
 	}
 	switch p.Type {
 	case PTStunResp:
@@ -462,6 +685,21 @@ func (f *Flow) dispatch(from transport.Addr, data []byte) {
 			f.establishLocked(f.relay, PathRelayed)
 		}
 		f.mu.Unlock()
+
+	case PTRelayReject:
+		f.mu.Lock()
+		var w sim.Waiter
+		if f.phase == PathRelayed && !f.established {
+			f.relayReject = true
+			w, f.estW = f.estW, nil // abort the bind loop immediately
+		}
+		f.mu.Unlock()
+		if w != nil {
+			w.Wake()
+		}
+
+	case PTKeepalive:
+		// Liveness already recorded above; nothing else to do.
 
 	case PTVoice:
 		now := f.sched.Now()

@@ -39,10 +39,26 @@ const (
 	// path is open in the receiving direction.
 	PTAck
 	// PTRelayBind registers the sender's flow (by SSRC) with a relay.
+	// On an authenticated relay the payload carries the HMAC flow-token
+	// proof (RelayProof); binds without a valid proof are rejected.
 	PTRelayBind
 	// PTRelayBound is the relay's confirmation that both parties of the
 	// flow are bound and forwarding is live.
 	PTRelayBound
+	// PTRelayUnbind releases the sender's half of a relay flow (sent by
+	// Flow.Close); once either bound party unbinds, the relay drops the
+	// whole flow entry.
+	PTRelayUnbind
+	// PTRelayReject is the relay's refusal of a bind — quota exceeded or
+	// bad proof — so the binder can abandon the relay rung instead of
+	// burning its whole relay budget on retries.
+	PTRelayReject
+	// PTKeepalive is the media-plane liveness beacon: both endpoints send
+	// it at a fixed cadence once the flow is established, the relay
+	// refreshes the flow's expiry clock and forwards it, and a receiver
+	// that hears nothing (voice or keepalive) for several intervals
+	// declares the media path silent and triggers re-establishment.
+	PTKeepalive
 )
 
 // String renders the type for logs.
@@ -62,6 +78,12 @@ func (t PacketType) String() string {
 		return "relay-bind"
 	case PTRelayBound:
 		return "relay-bound"
+	case PTRelayUnbind:
+		return "relay-unbind"
+	case PTRelayReject:
+		return "relay-reject"
+	case PTKeepalive:
+		return "keepalive"
 	default:
 		return fmt.Sprintf("packet-type(%d)", uint8(t))
 	}
@@ -119,7 +141,7 @@ func Parse(data []byte) (Packet, error) {
 		TS:   time.Duration(binary.BigEndian.Uint64(data[5:13])),
 		SSRC: binary.BigEndian.Uint32(data[13:17]),
 	}
-	if p.Type == 0 || p.Type > PTRelayBound {
+	if p.Type == 0 || p.Type > PTKeepalive {
 		return Packet{}, fmt.Errorf("udp: unknown packet type %d", data[0])
 	}
 	p.Payload = data[headerLen:]

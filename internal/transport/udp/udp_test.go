@@ -38,7 +38,7 @@ func TestPacketParseRejects(t *testing.T) {
 	if _, err := Parse([]byte{1, 2, 3}); err == nil {
 		t.Error("short packet should fail to parse")
 	}
-	bad := (&Packet{Type: PTRelayBound + 1, Seq: 1}).AppendTo(nil)
+	bad := (&Packet{Type: PTKeepalive + 1, Seq: 1}).AppendTo(nil)
 	if _, err := Parse(bad); err == nil {
 		t.Error("unknown type should fail to parse")
 	}
