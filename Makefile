@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt staticcheck govulncheck lint bench bench-parallel bench-virtualtime bench-dataplane bench-chaos-dataplane race-dataplane timecheck test-experiments profile chaos check print-staticcheck-version print-govulncheck-version
+.PHONY: build test race vet fmt staticcheck govulncheck lint bench bench-parallel bench-virtualtime bench-dataplane bench-chaos-dataplane bench-scale race-dataplane timecheck test-experiments profile chaos check print-staticcheck-version print-govulncheck-version
 
 build:
 	$(GO) build ./...
@@ -104,6 +104,19 @@ bench-dataplane:
 # publishes the output as the BENCH_chaosdataplane.json artifact.
 bench-chaos-dataplane:
 	$(GO) test -run '^$$' -bench 'ChaosDataplaneTraversal' -benchtime 20x -count 3 .
+
+# bench-scale climbs the million-node deployment ladder (DESIGN.md §14):
+# 10^4, 10^5 and 10^6 live protocol nodes joining, churning and calling
+# on the virtual clock, sharded across the conservative-lookahead
+# runner. Reports events/sec, bytes-per-node, peak RSS and the fig. 17
+# relay-quality extension per rung into BENCH_scale.json; protocol
+# outcomes are byte-identical for any -parallel value. SCALE_NODES
+# overrides the ladder ceiling (CI uses 100000 to stay under the job
+# clock; the tracked full-ladder numbers live in
+# results/BENCH_scale.json).
+SCALE_NODES ?= 1000000
+bench-scale:
+	$(GO) run ./cmd/asapsim -scale -nodes $(SCALE_NODES) -parallel 4 -benchout BENCH_scale.json
 
 # race-dataplane runs the media-plane packages (transport, NAT
 # emulation, session monitoring) under the race detector — the layers

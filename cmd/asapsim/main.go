@@ -1,23 +1,32 @@
 // Command asapsim regenerates the paper's measurement and evaluation
-// figures (Sections 3 and 7) from a synthesized world.
+// figures (Sections 3 and 7) from a synthesized world, and — in scale
+// mode — stands up live virtual deployments of 10^4..10^6 protocol nodes
+// on the sharded conservative-lookahead runner.
 //
 // Usage:
 //
 //	asapsim -profile small -figs all
 //	asapsim -profile paper -figs 2a,2b,3a,3b
 //	asapsim -profile small -figs 11,13,15,17,18 -sessions 2000
+//	asapsim -scale -nodes 1000000 -parallel 4 -benchout BENCH_scale.json
 //
 // Each figure is printed as a labelled text table with the paper's
 // qualitative expectation alongside, and optionally written as CSV.
+// Scale mode runs a deployment ladder (10^4, 10^5, ... up to -nodes),
+// each rung a full join/churn/call workload on the virtual clock, and
+// writes events/sec, bytes-per-node, peak RSS and the fig. 17 relay-
+// quality extension to -benchout.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"asap/internal/core"
@@ -45,15 +54,48 @@ func run(args []string) error {
 		randN       = fs.Int("rand", 200, "RAND probe count")
 		mixD        = fs.Int("mixdedi", 40, "MIX dedicated node count")
 		mixR        = fs.Int("mixrand", 120, "MIX random probe count")
-		scaleRatio  = fs.Float64("scale", 4.434, "population ratio for Fig 17 (paper: 103625/23366)")
+		scaleRatio  = fs.Float64("fig17-ratio", 4.434, "population ratio for Fig 17 (paper: 103625/23366)")
 		csvDir      = fs.String("csv", "", "also write raw figure series as CSV files into this directory")
 		kFlag       = fs.Int("k", 0, "valley-free BFS bound (0 = calibrate by the paper's 90%-quantile rule)")
-		parallel    = fs.Int("parallel", runtime.GOMAXPROCS(0), "measurement worker goroutines (output is identical for any value)")
+		parallel    = fs.Int("parallel", runtime.GOMAXPROCS(0), "figure mode: measurement worker goroutines (output identical for any value); scale mode: shard count (output identical for any value)")
+		scaleMode   = fs.Bool("scale", false, "run the deployment ladder (10^4..-nodes live protocol nodes with churn on the virtual clock) instead of figures")
+		nodesFlag   = fs.Int("nodes", 1_000_000, "scale mode: ladder ceiling, the largest deployment population")
+		benchOut    = fs.String("benchout", "BENCH_scale.json", "scale mode: write the ladder report as JSON to this file")
+		scaleSeed   = fs.Int64("scale-seed", 7, "scale mode: deployment seed (outcomes are a pure function of it)")
 		cpuprofile  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile  = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *scaleMode {
+		for _, name := range []string{"profile", "figs", "sessions", "latent", "pairsample", "seed",
+			"dedi", "rand", "mixdedi", "mixrand", "fig17-ratio", "csv", "k"} {
+			if set[name] {
+				return fmt.Errorf("-%s is a figure-mode flag and has no effect with -scale; drop it (scale mode is tuned by -nodes, -parallel, -scale-seed, -benchout)", name)
+			}
+		}
+		if *nodesFlag < 1000 {
+			return fmt.Errorf("-nodes %d is below the 1000-node floor: the harness clusters ~250 residents per /16 and needs a real population (try -nodes 10000)", *nodesFlag)
+		}
+		if *nodesFlag > 5_000_000 {
+			return fmt.Errorf("-nodes %d exceeds the 5M ceiling: a rung that size needs tens of GB of resident node state; run the 10^6 ladder and extrapolate", *nodesFlag)
+		}
+		if *parallel < 1 || *parallel > 256 {
+			return fmt.Errorf("-parallel %d is not a usable shard count; pick 1..256 (outcomes are byte-identical for any value, so match your core count)", *parallel)
+		}
+		return runScaleLadder(*nodesFlag, *parallel, *scaleSeed, *benchOut)
+	}
+	for _, name := range []string{"nodes", "benchout", "scale-seed"} {
+		if set[name] {
+			return fmt.Errorf("-%s only applies to the deployment ladder; add -scale to run it", name)
+		}
+	}
+	if *parallel < 1 {
+		return fmt.Errorf("-parallel %d: need at least one measurement worker", *parallel)
 	}
 
 	if *cpuprofile != "" {
@@ -212,6 +254,104 @@ func run(args []string) error {
 	}
 
 	fmt.Printf("== done in %.1fs\n", time.Since(start).Seconds())
+	return nil
+}
+
+// scaleRung is one ladder entry of the BENCH_scale.json report.
+type scaleRung struct {
+	Nodes          int     `json:"nodes"`
+	Shards         int     `json:"shards"`
+	Clusters       int     `json:"clusters"`
+	Events         uint64  `json:"events"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	BytesPerNode   float64 `json:"bytes_per_node"`
+	PeakRSSBytes   int64   `json:"peak_rss_bytes"`
+	Calls          int     `json:"calls"`
+	Latent         int     `json:"latent"`
+	Relayed        int     `json:"relayed"`
+	Degraded       int     `json:"degraded"`
+	Failed         int     `json:"failed"`
+	MeanRelayEstMS float64 `json:"mean_relay_est_ms"`
+}
+
+type scaleBench struct {
+	GeneratedUnix int64       `json:"generated_unix"`
+	Seed          int64       `json:"seed"`
+	MaxNodes      int         `json:"max_nodes"`
+	Rungs         []scaleRung `json:"rungs"`
+}
+
+// peakRSSBytes reads the process high-water resident set from the kernel.
+func peakRSSBytes() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return ru.Maxrss * 1024 // linux reports KiB
+}
+
+// runScaleLadder climbs 10^4 -> maxNodes, one full deployment per rung:
+// every resident is a live core.Node joining over the bootstrap, a slice
+// of the population churns out and rejoins mid-workload, and a call
+// workload exercises direct, relayed, degraded and failed paths. Wall
+// time is real; everything the protocol observes is virtual.
+func runScaleLadder(maxNodes, shards int, seed int64, outPath string) error {
+	bench := scaleBench{GeneratedUnix: time.Now().Unix(), Seed: seed, MaxNodes: maxNodes}
+	var sizes []int
+	for n := 10_000; n < maxNodes; n *= 10 {
+		sizes = append(sizes, n)
+	}
+	sizes = append(sizes, maxNodes)
+	fmt.Printf("== scale ladder: %v nodes, %d shards, seed %d\n", sizes, shards, seed)
+	for _, n := range sizes {
+		cfg := eval.ScaleConfig{
+			Nodes:        n,
+			Shards:       shards,
+			Calls:        max(40, n/200),
+			Leavers:      max(8, n/500),
+			Seed:         seed,
+			MeasureBytes: true,
+		}
+		start := time.Now()
+		rep, err := eval.RunScale(cfg)
+		if err != nil {
+			return fmt.Errorf("rung %d: %w", n, err)
+		}
+		wall := time.Since(start).Seconds()
+		rung := scaleRung{
+			Nodes:        rep.Nodes,
+			Shards:       rep.Shards,
+			Clusters:     rep.Clusters,
+			Events:       rep.Events,
+			WallSeconds:  wall,
+			EventsPerSec: float64(rep.Events) / wall,
+			BytesPerNode: rep.BytesPerNode,
+			PeakRSSBytes: peakRSSBytes(),
+			Calls:        rep.Calls,
+			Latent:       rep.Latent,
+			Relayed:      rep.Relayed,
+			Degraded:     rep.Degraded,
+			Failed:       rep.Failed,
+		}
+		rung.MeanRelayEstMS = float64(rep.MeanRelayEst) / float64(time.Millisecond)
+		bench.Rungs = append(bench.Rungs, rung)
+		relayPct := 0.0
+		if rep.Latent > 0 {
+			relayPct = 100 * float64(rep.Relayed) / float64(rep.Latent)
+		}
+		fmt.Printf("   %8d nodes: %9d events in %6.1fs (%9.0f ev/s), %5.0f B/node, RSS %4d MB | calls %d, latent %d, relayed %.0f%% at %.1f ms est (fig 17 extension)\n",
+			rep.Nodes, rep.Events, wall, rung.EventsPerSec, rep.BytesPerNode,
+			rung.PeakRSSBytes>>20, rep.Calls, rep.Latent, relayPct, rung.MeanRelayEstMS)
+	}
+	data, err := json.MarshalIndent(&bench, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("== wrote %s (max-nodes %d)\n", outPath, maxNodes)
 	return nil
 }
 

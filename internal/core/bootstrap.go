@@ -84,6 +84,11 @@ type Bootstrap struct {
 	surro map[string]surrogateLease // cluster key -> surrogate lease
 	byAS  map[asgraph.ASN][]string  // AS -> cluster keys
 	known map[string]asgraph.ASN    // cluster key -> AS
+	// keys interns cluster-key strings: every join re-derives its key by
+	// formatting the matched prefix, and without interning a million
+	// joiners would each retain a private copy of the same few thousand
+	// keys (in their JoinReply, Node.clusterKey, lease table entries).
+	keys map[string]string
 }
 
 // NewBootstrap builds and serves a bootstrap node on addr.
@@ -104,6 +109,7 @@ func NewBootstrap(tr transport.Transport, addr transport.Addr, cfg BootstrapConf
 		surro: make(map[string]surrogateLease),
 		byAS:  make(map[asgraph.ASN][]string),
 		known: make(map[string]asgraph.ASN),
+		keys:  make(map[string]string),
 	}
 	for _, po := range cfg.Prefixes {
 		p, err := bgp.ParsePrefix(po.Prefix)
@@ -113,6 +119,7 @@ func NewBootstrap(tr transport.Transport, addr transport.Addr, cfg BootstrapConf
 		b.trie.Insert(p, po.ASN)
 		key := p.String()
 		b.known[key] = po.ASN
+		b.keys[key] = key
 		b.byAS[po.ASN] = append(b.byAS[po.ASN], key)
 	}
 	if b.sched == nil {
@@ -182,6 +189,9 @@ func (b *Bootstrap) handle(from transport.Addr, req *transport.Message) (*transp
 		}
 		key := prefix.String()
 		b.mu.Lock()
+		if canon, ok := b.keys[key]; ok {
+			key = canon // drop the freshly formatted copy for the interned one
+		}
 		sur, _ := b.liveSurrogateLocked(key)
 		b.mu.Unlock()
 		return &transport.Message{

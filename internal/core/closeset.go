@@ -19,15 +19,19 @@ import (
 // exact in simulation.
 func (n *Node) Ping(to transport.Addr) (time.Duration, error) {
 	start := n.sched.Now()
-	resp, err := n.tr.Call(to, &transport.Message{
-		Type: transport.MsgPing, From: n.addr, SentAt: start,
-	})
+	req := transport.AcquireMessage()
+	req.Type = transport.MsgPing
+	req.From = n.addr
+	req.SentAt = start
+	resp, err := n.tr.Call(to, req)
+	transport.ReleaseMessage(req)
 	if err != nil {
 		return 0, err
 	}
 	if resp.Type != transport.MsgPong {
 		return 0, fmt.Errorf("core: unexpected ping reply type %d", resp.Type)
 	}
+	transport.ReleaseMessage(resp)
 	return n.sched.Now() - start, nil
 }
 

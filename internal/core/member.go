@@ -125,16 +125,15 @@ func NewNode(tr transport.Transport, addr transport.Addr, cfg NodeConfig) (*Node
 	if err := cfg.Params.Validate(); err != nil {
 		return nil, err
 	}
+	// Role maps (members, flows, received, outFlows, quality) stay nil
+	// until first written: most of a million-node deployment's residents
+	// never relay, never serve a cluster and never take a call, and five
+	// empty maps per node is ~0.5 KB of dead weight at that scale.
 	n := &Node{
-		cfg:      cfg,
-		tr:       tr,
-		retry:    cfg.Retry.withDefaults(),
-		sched:    cfg.Sched,
-		members:  make(map[transport.Addr]transport.NodalInfo),
-		flows:    make(map[uint64]transport.Addr),
-		received: make(map[transport.Addr]int),
-		outFlows: make(map[flowKey]uint64),
-		quality:  make(map[transport.Addr]QualityReport),
+		cfg:   cfg,
+		tr:    tr,
+		retry: cfg.Retry.withDefaults(),
+		sched: cfg.Sched,
 	}
 	if n.sched == nil {
 		n.sched = wallSched
@@ -465,7 +464,13 @@ func (n *Node) asyncReelect() {
 func (n *Node) handle(from transport.Addr, req *transport.Message) (*transport.Message, error) {
 	switch req.Type {
 	case transport.MsgPing:
-		return &transport.Message{Type: transport.MsgPong, SentAt: req.SentAt}, nil
+		// The four hot-path acks (pong, keepalive, quality, voice) come
+		// from the envelope pool; the caller-side helpers (Ping,
+		// Keepalive, SendQualityReport, SendVoice) release them.
+		resp := transport.AcquireMessage()
+		resp.Type = transport.MsgPong
+		resp.SentAt = req.SentAt
+		return resp, nil
 
 	case transport.MsgGetCloseSet, transport.MsgCallSetup:
 		n.mu.Lock()
@@ -497,6 +502,9 @@ func (n *Node) handle(from transport.Addr, req *transport.Message) (*transport.M
 
 	case transport.MsgPublishNodalInfo:
 		n.mu.Lock()
+		if n.members == nil {
+			n.members = make(map[transport.Addr]transport.NodalInfo)
+		}
 		n.members[from] = req.Nodal
 		better := req.Nodal.BandwidthKbps/1000+req.Nodal.OnlineFor.Hours()+req.Nodal.CPUScore >
 			n.cfg.Nodal.BandwidthKbps/1000+n.cfg.Nodal.OnlineFor.Hours()+n.cfg.Nodal.CPUScore
@@ -515,7 +523,10 @@ func (n *Node) handle(from transport.Addr, req *transport.Message) (*transport.M
 				return nil, fmt.Errorf("core: keepalive for unknown flow %d", req.FlowID)
 			}
 		}
-		return &transport.Message{Type: transport.MsgKeepaliveAck, FlowID: req.FlowID}, nil
+		resp := transport.AcquireMessage()
+		resp.Type = transport.MsgKeepaliveAck
+		resp.FlowID = req.FlowID
+		return resp, nil
 
 	case transport.MsgRelayProbe:
 		// Relay role: measure our leg to the probe's destination so the
@@ -534,14 +545,23 @@ func (n *Node) handle(from transport.Addr, req *transport.Message) (*transport.M
 
 	case transport.MsgQualityReport:
 		n.mu.Lock()
+		if n.quality == nil {
+			n.quality = make(map[transport.Addr]QualityReport)
+		}
 		n.quality[from] = QualityReport{RTT: req.RTT, Loss: req.Loss, At: n.sched.Now()}
 		n.mu.Unlock()
-		return &transport.Message{Type: transport.MsgQualityReportAck, SessionID: req.SessionID}, nil
+		resp := transport.AcquireMessage()
+		resp.Type = transport.MsgQualityReportAck
+		resp.SessionID = req.SessionID
+		return resp, nil
 
 	case transport.MsgRelayOpen:
 		n.mu.Lock()
 		n.nextFlowID++
 		id := n.nextFlowID
+		if n.flows == nil {
+			n.flows = make(map[uint64]transport.Addr)
+		}
 		n.flows[id] = req.Dst
 		n.mu.Unlock()
 		return &transport.Message{Type: transport.MsgRelayOpenReply, FlowID: id}, nil
@@ -554,9 +574,13 @@ func (n *Node) handle(from transport.Addr, req *transport.Message) (*transport.M
 			if ok && dst != n.addr {
 				// Relay role: forward and propagate the ack. From stays the
 				// original caller so the callee's per-peer accounting
-				// attributes bytes to the speaker, not the relay.
+				// attributes bytes to the speaker, not the relay; Via marks
+				// this node as the hop's wire sender so the transport
+				// charges relay->callee latency (and routes the hop from
+				// the relay's shard under the sharded runner).
 				fwd := *req
 				fwd.FlowID = 0 // terminal hop
+				fwd.Via = n.addr
 				return n.tr.Call(dst, &fwd)
 			}
 			if !ok {
@@ -567,9 +591,15 @@ func (n *Node) handle(from transport.Addr, req *transport.Message) (*transport.M
 		// terminal hop always carries FlowID 0, so concurrent callers
 		// would merge under a flow-keyed counter).
 		n.mu.Lock()
+		if n.received == nil {
+			n.received = make(map[transport.Addr]int)
+		}
 		n.received[from] += len(req.Frames)
 		n.mu.Unlock()
-		return &transport.Message{Type: transport.MsgVoiceAck, Seq: req.Seq}, nil
+		resp := transport.AcquireMessage()
+		resp.Type = transport.MsgVoiceAck
+		resp.Seq = req.Seq
+		return resp, nil
 
 	default:
 		return nil, fmt.Errorf("core: node cannot handle message type %d", req.Type)

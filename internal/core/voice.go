@@ -29,6 +29,9 @@ func (n *Node) EnsureFlow(relay, callee transport.Addr) (uint64, error) {
 		return 0, fmt.Errorf("core: relay open: %w", err)
 	}
 	n.mu.Lock()
+	if n.outFlows == nil {
+		n.outFlows = make(map[flowKey]uint64)
+	}
 	n.outFlows[key] = open.FlowID
 	n.mu.Unlock()
 	return open.FlowID, nil
@@ -45,26 +48,31 @@ func (n *Node) DropFlow(relay, callee transport.Addr) {
 // SendVoice sends a voice frame batch to the callee, through the relay
 // when choice selected one. It returns the payload bytes delivered.
 func (n *Node) SendVoice(choice *RelayChoice, callee transport.Addr, frames []byte, seq uint32) error {
-	msg := &transport.Message{
-		Type: transport.MsgVoice, From: n.addr,
-		Dst: callee, Seq: seq, Frames: frames,
-	}
+	msg := transport.AcquireMessage()
+	msg.Type = transport.MsgVoice
+	msg.From = n.addr
+	msg.Dst = callee
+	msg.Seq = seq
+	msg.Frames = frames
 	to := callee
 	if choice.Relay != "" {
 		id, err := n.EnsureFlow(choice.Relay, callee)
 		if err != nil {
+			transport.ReleaseMessage(msg)
 			return err
 		}
 		msg.FlowID = id
 		to = choice.Relay
 	}
 	resp, err := n.tr.Call(to, msg)
+	transport.ReleaseMessage(msg)
 	if err != nil {
 		return fmt.Errorf("core: voice send: %w", err)
 	}
 	if resp.Type != transport.MsgVoiceAck {
 		return fmt.Errorf("core: unexpected voice reply type %d", resp.Type)
 	}
+	transport.ReleaseMessage(resp)
 	return nil
 }
 
@@ -101,31 +109,40 @@ func (n *Node) ProbePath(relay, callee transport.Addr) (time.Duration, float64, 
 // direct path) is alive and, when flowID is nonzero, still holds the
 // relay flow. Implements session.Driver.
 func (n *Node) Keepalive(target transport.Addr, flowID uint64) error {
-	resp, err := n.tr.Call(target, &transport.Message{
-		Type: transport.MsgKeepalive, From: n.addr, FlowID: flowID,
-	})
+	req := transport.AcquireMessage()
+	req.Type = transport.MsgKeepalive
+	req.From = n.addr
+	req.FlowID = flowID
+	resp, err := n.tr.Call(target, req)
+	transport.ReleaseMessage(req)
 	if err != nil {
 		return err
 	}
 	if resp.Type != transport.MsgKeepaliveAck {
 		return fmt.Errorf("core: unexpected keepalive reply type %d", resp.Type)
 	}
+	transport.ReleaseMessage(resp)
 	return nil
 }
 
 // SendQualityReport publishes this node's listener-side call quality to
 // the peer (callee -> caller in the usual flow).
 func (n *Node) SendQualityReport(peer transport.Addr, sessionID uint64, rtt time.Duration, loss float64) error {
-	resp, err := n.tr.Call(peer, &transport.Message{
-		Type: transport.MsgQualityReport, From: n.addr,
-		SessionID: sessionID, RTT: rtt, Loss: loss,
-	})
+	req := transport.AcquireMessage()
+	req.Type = transport.MsgQualityReport
+	req.From = n.addr
+	req.SessionID = sessionID
+	req.RTT = rtt
+	req.Loss = loss
+	resp, err := n.tr.Call(peer, req)
+	transport.ReleaseMessage(req)
 	if err != nil {
 		return err
 	}
 	if resp.Type != transport.MsgQualityReportAck {
 		return fmt.Errorf("core: unexpected quality report reply type %d", resp.Type)
 	}
+	transport.ReleaseMessage(resp)
 	return nil
 }
 

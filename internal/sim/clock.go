@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"sync"
@@ -28,16 +27,34 @@ import (
 // (Sleep, Join, Waiter.Wait) must come from scheduler tasks; calling
 // them from an untracked goroutine panics rather than deadlocking.
 type Clock struct {
-	mu      sync.Mutex
-	now     time.Duration
-	queue   eventQueue
-	nextID  uint64
-	current *task // task holding the virtual CPU (nil while the loop runs)
-	tasks   int   // live tasks: started (or queued to start) and not finished
+	mu       sync.Mutex
+	now      time.Duration
+	events   eventStore // pending events; nil until first use (zero value)
+	live     int        // pending events not canceled — Pending() in O(1)
+	nextID   uint64
+	executed uint64
+	current  *task // task holding the virtual CPU (nil while the loop runs)
+	tasks    int   // live tasks: started (or queued to start) and not finished
 }
 
-// NewClock returns a virtual clock at time zero.
-func NewClock() *Clock { return &Clock{} }
+// NewClock returns a virtual clock at time zero, backed by the
+// hierarchical timer-wheel event store (wheel.go).
+func NewClock() *Clock { return &Clock{events: newWheelStore()} }
+
+// NewReferenceClock returns a virtual clock backed by the original
+// single binary-heap event store. It is the executable specification the
+// timer wheel is differentially tested against (wheel_test.go): for any
+// schedule, both clocks must produce byte-identical event orders.
+func NewReferenceClock() *Clock { return &Clock{events: &heapStore{}} }
+
+// storeLocked returns the event store, initializing the default wheel
+// for zero-value Clocks. Called with c.mu held.
+func (c *Clock) storeLocked() eventStore {
+	if c.events == nil {
+		c.events = newWheelStore()
+	}
+	return c.events
+}
 
 // task is one tracked goroutine. The loop and the task hand the virtual
 // CPU back and forth over the two unbuffered channels: wake means "you
@@ -90,8 +107,16 @@ func (c *Clock) scheduleLocked(at time.Duration, call func()) *event {
 	}
 	c.nextID++
 	e := &event{at: at, id: c.nextID, call: call}
-	heap.Push(&c.queue, e)
+	c.storeLocked().push(e)
+	c.live++
 	return e
+}
+
+// cancelLocked marks a pending event canceled; the store discards it
+// lazily. Called with c.mu held.
+func (c *Clock) cancelLocked(e *event) {
+	e.canceled = true
+	c.live--
 }
 
 // At schedules fn to run at absolute virtual time at. The callback runs
@@ -139,7 +164,7 @@ func (t *clockTimer) Stop() bool {
 	if t.e.canceled || t.e.fired {
 		return false
 	}
-	t.e.canceled = true
+	t.c.cancelLocked(t.e)
 	t.c.tasks-- // the task will never start
 	return true
 }
@@ -280,7 +305,7 @@ func (w *clockWaiter) Wake() {
 		return // Wake before Wait: remembered by the woken flag
 	}
 	if w.deadline != nil {
-		w.deadline.canceled = true
+		c.cancelLocked(w.deadline)
 		w.deadline = nil
 	}
 	c.scheduleLocked(c.now, func() { c.resume(t) })
@@ -322,27 +347,23 @@ func (w *clockWaiter) Wait(timeout time.Duration) bool {
 // and blocking until the stack quiesces again (the event's task parked
 // or finished). It reports whether an event ran.
 func (c *Clock) Step() bool {
-	for {
-		c.mu.Lock()
-		if c.current != nil {
-			c.mu.Unlock()
-			panic("sim: Step while a task holds the virtual CPU")
-		}
-		if len(c.queue) == 0 {
-			c.mu.Unlock()
-			return false
-		}
-		e := heap.Pop(&c.queue).(*event)
-		if e.canceled {
-			c.mu.Unlock()
-			continue
-		}
-		e.fired = true
-		c.now = e.at
+	c.mu.Lock()
+	if c.current != nil {
 		c.mu.Unlock()
-		e.call()
-		return true
+		panic("sim: Step while a task holds the virtual CPU")
 	}
+	e := c.storeLocked().pop()
+	if e == nil {
+		c.mu.Unlock()
+		return false
+	}
+	e.fired = true
+	c.now = e.at
+	c.live--
+	c.executed++
+	c.mu.Unlock()
+	e.call()
+	return true
 }
 
 // Run drains all pending events, including events scheduled by events.
@@ -389,10 +410,8 @@ func (c *Clock) RunUntil(deadline time.Duration) int {
 	n := 0
 	for {
 		c.mu.Lock()
-		for len(c.queue) > 0 && c.queue[0].canceled {
-			heap.Pop(&c.queue)
-		}
-		if len(c.queue) == 0 || c.queue[0].at > deadline {
+		at, ok := c.storeLocked().next()
+		if !ok || at > deadline {
 			if c.now < deadline {
 				c.now = deadline
 			}
@@ -411,13 +430,24 @@ func (c *Clock) RunUntil(deadline time.Duration) int {
 func (c *Clock) Pending() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	n := 0
-	for _, e := range c.queue {
-		if !e.canceled {
-			n++
-		}
-	}
-	return n
+	return c.live
+}
+
+// Executed returns the total number of events this clock has run — the
+// scale harness's events/sec numerator.
+func (c *Clock) Executed() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.executed
+}
+
+// NextEventTime returns the earliest pending event's virtual time, or
+// false when the queue is empty. The sharded runner uses it to decide
+// whether a shard has work inside the current lookahead window.
+func (c *Clock) NextEventTime() (time.Duration, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.storeLocked().next()
 }
 
 // Interface compliance.

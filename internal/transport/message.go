@@ -126,6 +126,14 @@ type NodalInfo struct {
 type Message struct {
 	Type MsgType
 	From Addr
+	// Via is the wire-level sender of this hop when it differs from the
+	// protocol origin: a relay forwarding a caller's message keeps From
+	// (so the callee attributes the traffic to the speaker) and sets Via
+	// to itself. The transport charges hop latency — and, under the
+	// sharded runner, resolves the sending shard — from Via when set,
+	// From otherwise, mirroring a real network where the packet leaves
+	// the relay's socket, not the caller's.
+	Via Addr
 
 	// Error is set with MsgError.
 	Error string

@@ -1,0 +1,147 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"asap/internal/sim"
+)
+
+// TestMemShardedCallEquivalence drives the same two-node request
+// exchange through the inline path (one clock) and the sharded path
+// (two shards, cross-shard posts) and requires identical virtual
+// timings: the handler must observe the request at send + one-way
+// latency and the caller must get the response a further handler-time +
+// one-way latency later, no matter which execution mode delivered it.
+func TestMemShardedCallEquivalence(t *testing.T) {
+	const oneWay = 3 * time.Millisecond
+	const handlerWork = 700 * time.Microsecond
+
+	type timing struct {
+		handlerAt time.Duration
+		doneAt    time.Duration
+	}
+
+	runInline := func() timing {
+		clk := sim.NewClock()
+		m := NewMem()
+		defer func() { _ = m.Close() }()
+		m.Sched = clk
+		m.Latency = func(from, to Addr) time.Duration { return oneWay }
+		var tm timing
+		if _, err := m.Serve("b", func(from Addr, req *Message) (*Message, error) {
+			tm.handlerAt = clk.Now()
+			clk.Sleep(handlerWork)
+			return &Message{Type: MsgPong}, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		clk.RunTask(func() {
+			if _, err := m.Call("b", &Message{Type: MsgPing, From: "a"}); err != nil {
+				t.Error(err)
+			}
+			tm.doneAt = clk.Now()
+		})
+		return tm
+	}
+
+	runSharded := func() timing {
+		r := sim.NewShardRunner(2, oneWay)
+		m := NewMem()
+		defer func() { _ = m.Close() }()
+		m.Latency = func(from, to Addr) time.Duration { return oneWay }
+		m.EnableSharding(r, func(a Addr) int {
+			if a == "a" {
+				return 0
+			}
+			return 1
+		})
+		var tm timing
+		if _, err := m.Serve("b", func(from Addr, req *Message) (*Message, error) {
+			tm.handlerAt = r.Clock(1).Now()
+			r.Clock(1).Sleep(handlerWork)
+			return &Message{Type: MsgPong}, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		r.Clock(0).At(0, func() {
+			if _, err := m.Call("b", &Message{Type: MsgPing, From: "a"}); err != nil {
+				t.Error(err)
+			}
+			tm.doneAt = r.Clock(0).Now()
+		})
+		r.Run(time.Second)
+		return tm
+	}
+
+	inline, sharded := runInline(), runSharded()
+	if inline.handlerAt != oneWay || inline.doneAt != 2*oneWay+handlerWork {
+		t.Fatalf("inline timing = %+v, want handler at %v, done at %v", inline, oneWay, 2*oneWay+handlerWork)
+	}
+	if sharded != inline {
+		t.Fatalf("sharded timing %+v diverges from inline %+v", sharded, inline)
+	}
+}
+
+// TestMemShardedLatencyBelowLookaheadPanics: a cross-shard pair whose
+// latency undercuts the lookahead bound would let a request arrive
+// inside an already-executed window; the transport must refuse loudly.
+func TestMemShardedLatencyBelowLookaheadPanics(t *testing.T) {
+	r := sim.NewShardRunner(2, 5*time.Millisecond)
+	m := NewMem()
+	defer func() { _ = m.Close() }()
+	m.Latency = func(from, to Addr) time.Duration { return time.Millisecond }
+	m.EnableSharding(r, func(a Addr) int {
+		if a == "a" {
+			return 0
+		}
+		return 1
+	})
+	if _, err := m.Serve("b", echoHandler); err != nil {
+		t.Fatal(err)
+	}
+	panicked := false
+	r.Clock(0).At(0, func() {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		_, _ = m.Call("b", &Message{Type: MsgPing, From: "a"})
+	})
+	r.Run(time.Second)
+	if !panicked {
+		t.Fatal("sub-lookahead cross-shard call did not panic")
+	}
+}
+
+// TestMessagePool: acquire/release round-trips hand back zeroed
+// envelopes, and concurrent use is race-free (run under -race in CI).
+func TestMessagePool(t *testing.T) {
+	m := AcquireMessage()
+	m.Type = MsgVoice
+	m.Frames = []byte{1, 2, 3}
+	m.CloseSet = []CloseEntry{{ClusterKey: "k"}}
+	ReleaseMessage(m)
+	got := AcquireMessage()
+	if got.Type != 0 || got.Frames != nil || got.CloseSet != nil {
+		t.Fatalf("pool returned a dirty message: %+v", got)
+	}
+	ReleaseMessage(got)
+	ReleaseMessage(nil) // must be a no-op
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m := AcquireMessage()
+				m.Seq = uint32(j)
+				ReleaseMessage(m)
+			}
+		}()
+	}
+	wg.Wait()
+}

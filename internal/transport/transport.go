@@ -68,13 +68,25 @@ type Mem struct {
 	handlers map[Addr]Handler
 	packets  map[Addr]PacketHandler // datagram plane (see packet.go)
 	closed   bool
+	shard    *memSharding // nil unless EnableSharding was called
 	// Latency, if set, returns the one-way delay between two addresses;
-	// Call delays twice that on the scheduler before invoking the handler.
+	// Call sleeps it on the scheduler before invoking the handler and
+	// again before returning the response, so the handler observes the
+	// request at send-time + one-way delay — the same virtual instant in
+	// single-clock and sharded execution.
 	Latency func(from, to Addr) time.Duration
 	// Sched is the time source for latency emulation. Nil means real time
 	// (a shared wall adapter); simulations inject their *sim.Clock so the
-	// delay costs virtual time only.
+	// delay costs virtual time only. Ignored on the Call path in sharded
+	// mode, where each endpoint sleeps on its own shard's clock.
 	Sched sim.Scheduler
+}
+
+// memSharding routes cross-shard calls through a conservative-lookahead
+// ShardRunner (see sim/shard.go and Mem.EnableSharding).
+type memSharding struct {
+	runner  *sim.ShardRunner
+	shardOf func(Addr) int
 }
 
 // NewMem returns an empty in-memory transport.
@@ -107,26 +119,118 @@ func (m *Mem) Serve(addr Addr, h Handler) (Addr, error) {
 	return addr, nil
 }
 
-// Call implements Transport.
+// EnableSharding switches the Call path to conservative-lookahead
+// sharded execution: a call whose endpoints map to different shards is
+// posted to the target shard's clock (arriving one-way latency later),
+// runs the handler there, and posts the response back — instead of
+// running the handler inline on the caller's clock. shardOf must be a
+// pure function of the address, every caller must run as a task on its
+// own shard's clock, and every cross-shard latency must be at least the
+// runner's lookahead bound (violations panic). Call before the
+// deployment starts; sharding cannot be toggled mid-run.
+func (m *Mem) EnableSharding(r *sim.ShardRunner, shardOf func(Addr) int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.shard = &memSharding{runner: r, shardOf: shardOf}
+}
+
+// Call implements Transport. With latency emulation the handler runs
+// one-way latency after the send and the response lands one-way latency
+// after the handler returns — symmetric legs, as on a real link.
 func (m *Mem) Call(to Addr, req *Message) (*Message, error) {
 	m.mu.RLock()
 	h := m.handlers[to]
 	lat := m.Latency
 	closed := m.closed
+	sh := m.shard
 	m.mu.RUnlock()
 	if closed || h == nil {
 		return nil, fmt.Errorf("%w: %s", ErrUnreachable, to)
 	}
-	if lat != nil {
-		if d := 2 * lat(req.From, to); d > 0 {
-			m.sched().Sleep(d)
-		}
+	// The wire sender of this hop: the forwarding relay when Via is set,
+	// the protocol origin otherwise. Latency and shard placement are hop
+	// properties, so both key off it.
+	src := req.Via
+	if src == "" {
+		src = req.From
 	}
-	resp, err := h(req.From, req)
+	var d time.Duration
+	if lat != nil {
+		d = lat(src, to)
+	}
+	sched := m.sched()
+	if sh != nil {
+		sFrom, sTo := sh.shardOf(src), sh.shardOf(to)
+		if sFrom != sTo {
+			return m.callCrossShard(sh, sFrom, sTo, to, req, d)
+		}
+		// Same-shard call under the sharded runner: the caller runs as a
+		// task on its own shard's clock, so that clock — not the global
+		// Sched — must charge the latency legs.
+		sched = sh.runner.Clock(sFrom)
+	}
+	if d > 0 {
+		sched.Sleep(d)
+	}
+	// Re-check reachability at delivery time, exactly as the cross-shard
+	// path does in its delivery event: an unbind while the request was in
+	// flight is an unreachable peer, not a delivery to a stale handler
+	// snapshot — and the two paths must agree or sharded runs would
+	// diverge from sequential ones whenever churn races a call.
+	m.mu.RLock()
+	h = m.handlers[to]
+	closed = m.closed
+	m.mu.RUnlock()
+	var resp *Message
+	var err error
+	if closed || h == nil {
+		err = fmt.Errorf("%w: %s", ErrUnreachable, to)
+	} else {
+		resp, err = h(req.From, req)
+	}
+	if d > 0 {
+		sched.Sleep(d)
+	}
 	if err != nil {
 		return nil, err
 	}
 	return resp, nil
+}
+
+// callCrossShard is the sharded Call path: request and response travel
+// as cross-shard events through the runner's barrier, and the handler
+// executes as a task on the target shard's clock at exactly the same
+// virtual instant the inline path would have run it.
+func (m *Mem) callCrossShard(sh *memSharding, sFrom, sTo int, to Addr, req *Message, d time.Duration) (*Message, error) {
+	if d < sh.runner.Lookahead() {
+		panic(fmt.Sprintf("transport: cross-shard latency %v (%s -> %s) below the runner's %v lookahead bound", d, req.From, to, sh.runner.Lookahead()))
+	}
+	src := sh.runner.Clock(sFrom)
+	dst := sh.runner.Clock(sTo)
+	w := src.NewWaiter()
+	var resp *Message
+	var callErr error
+	sh.runner.Post(sFrom, sTo, src.Now()+d, func() {
+		// Re-check reachability on delivery: an unbind while the request
+		// was in flight means an unreachable peer, as on a real network.
+		m.mu.RLock()
+		h := m.handlers[to]
+		closed := m.closed
+		m.mu.RUnlock()
+		var r *Message
+		var err error
+		if closed || h == nil {
+			err = fmt.Errorf("%w: %s", ErrUnreachable, to)
+		} else {
+			r, err = h(req.From, req)
+		}
+		sh.runner.Post(sTo, sFrom, dst.Now()+d, func() {
+			resp, callErr = r, err
+			w.Wake()
+		})
+	})
+	w.Wait(-1)
+	return resp, callErr
 }
 
 // Unbind drops the handler for addr, making the node unreachable. Tests
