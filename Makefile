@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt staticcheck govulncheck lint bench bench-parallel bench-virtualtime bench-dataplane bench-chaos-dataplane bench-scale race-dataplane timecheck test-experiments profile chaos check print-staticcheck-version print-govulncheck-version
+.PHONY: build test race vet fmt staticcheck govulncheck lint allocgate bench bench-parallel bench-virtualtime bench-dataplane bench-chaos-dataplane bench-scale bench-wire race-dataplane timecheck test-experiments profile chaos check print-staticcheck-version print-govulncheck-version
 
 build:
 	$(GO) build ./...
@@ -62,14 +62,23 @@ govulncheck:
 		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION))"; \
 	fi
 
-# lint runs asaplint, the repo's invariant gate (DESIGN.md §11): five
+# lint runs asaplint, the repo's invariant gate (DESIGN.md §11): six
 # analyzers enforcing the time model (schedtime), seed reproducibility
 # (seededrand), scheduler-accounted goroutines (schedgo), deterministic
-# map iteration in output paths (maporder) and the snapshot-probe-commit
-# locking discipline (lockio). Suppress a finding with a justified
+# map iteration in output paths (maporder), the snapshot-probe-commit
+# locking discipline (lockio) and the transport pool ownership rules
+# (poolreturn). Suppress a finding with a justified
 # `//lint:allow <analyzer> <why>` comment; see README.md.
 lint:
 	$(GO) run ./cmd/asaplint ./internal/...
+
+# allocgate re-runs the allocation-regression tests (TestEncodeAllocs,
+# TestDecodeAllocs*, TestClusterStatsBatchAllocs) in a plain build: the
+# race runs above skip them because -race instruments allocations, so
+# without this target `check` would never enforce the zero-alloc wire
+# path (DESIGN.md §15).
+allocgate:
+	$(GO) test -run 'Allocs' -count=1 ./internal/transport/ ./internal/netmodel/
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 0.2s .
@@ -118,6 +127,15 @@ SCALE_NODES ?= 1000000
 bench-scale:
 	$(GO) run ./cmd/asapsim -scale -nodes $(SCALE_NODES) -parallel 4 -benchout BENCH_scale.json
 
+# bench-wire measures the zero-alloc wire path (DESIGN.md §15): binary
+# codec encode/decode against the gob encoding it replaced (msgs/s and
+# allocs/op), the framed loopback-TCP round trip, and the batched probe
+# protocol's roundtrips-per-tick economy on the virtual clock. CI
+# publishes the output as the BENCH_wire.json artifact; the tracked
+# numbers live in results/BENCH_wire.json.
+bench-wire:
+	$(GO) test -run '^$$' -bench 'Wire' -benchtime 10000x -count 3 .
+
 # race-dataplane runs the media-plane packages (transport, NAT
 # emulation, session monitoring) under the race detector — the layers
 # that juggle keepalive timers, re-establishment and relay expiry
@@ -151,6 +169,7 @@ chaos:
 # check is the CI gate: everything must build, be gofmt-clean, vet and
 # staticcheck clean, honor the asaplint invariants (time model, seeded
 # randomness, scheduler-accounted goroutines, deterministic map
-# iteration, lock/I/O discipline), pass the full test suite under the
-# race detector, and carry no known-vulnerable dependencies.
-check: build vet fmt staticcheck lint race govulncheck
+# iteration, lock/I/O discipline, pool ownership), pass the full test
+# suite under the race detector, hold the zero-alloc wire path, and
+# carry no known-vulnerable dependencies.
+check: build vet fmt staticcheck lint race allocgate govulncheck

@@ -519,8 +519,8 @@ func BenchmarkTransportMem(b *testing.B) {
 	}
 }
 
-// BenchmarkTransportTCP measures a live gob-over-TCP protocol round trip
-// on loopback.
+// BenchmarkTransportTCP measures a live binary-framed TCP protocol
+// round trip on loopback (wire format: DESIGN.md §15).
 func BenchmarkTransportTCP(b *testing.B) {
 	tcp := transport.NewTCP()
 	defer func() { _ = tcp.Close() }()

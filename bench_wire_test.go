@@ -1,0 +1,312 @@
+// Wire-path benchmarks (DESIGN.md §15): the binary Message codec
+// against the gob encoding it replaced, the live framed round trip on
+// loopback TCP, and the batched probe protocol's round-trip economy on
+// the virtual clock. `make bench-wire` runs these; CI publishes the
+// output as the BENCH_wire.json artifact and the tracked numbers live
+// in results/BENCH_wire.json.
+package asap_test
+
+import (
+	"bytes"
+	"encoding/gob"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"asap/internal/asgraph"
+	"asap/internal/core"
+	"asap/internal/session"
+	"asap/internal/sim"
+	"asap/internal/transport"
+)
+
+// wireBenchMessages is the codec workload: one message per traffic
+// class the hot path actually carries — pings (the overwhelming
+// majority), close-set replies (the largest control messages), voice
+// batches (the payload-heavy class) and batched probe replies.
+func wireBenchMessages() []*transport.Message {
+	frames := make([]byte, 160) // one 20 ms G.729A batch
+	for i := range frames {
+		frames[i] = byte(i)
+	}
+	return []*transport.Message{
+		{Type: transport.MsgPing, From: "10.1.2.3:4000", SentAt: 123456789 * time.Nanosecond},
+		{Type: transport.MsgGetCloseSetReply, From: "s1", CloseSet: []transport.CloseEntry{
+			{ClusterKey: "10.1.0.0/24", SurrogateAddr: "s2", RTT: 12 * time.Millisecond},
+			{ClusterKey: "10.2.0.0/24", SurrogateAddr: "s3", RTT: 48 * time.Millisecond},
+			{ClusterKey: "10.3.0.0/24", SurrogateAddr: "s4", RTT: 96 * time.Millisecond},
+			{ClusterKey: "10.4.0.0/24", SurrogateAddr: "s5", RTT: 160 * time.Millisecond},
+		}},
+		{Type: transport.MsgVoice, From: "a", Dst: "b", FlowID: 42, Seq: 9000, Frames: frames},
+		{Type: transport.MsgProbeBatchReply, From: "r1", ProbeRTTs: []time.Duration{
+			15 * time.Millisecond, 30 * time.Millisecond, -1,
+		}},
+	}
+}
+
+func reportMsgsPerSec(b *testing.B) {
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "msgs/s")
+}
+
+// BenchmarkWireEncode compares binary-codec encoding against the gob
+// encoding the wire used before (one fresh encoder per message, exactly
+// as the old writeFrame worked). The binary arm reuses its buffer the
+// way writeFrame's pooled buffers do, so allocs/op is the steady-state
+// number the allocation gate enforces.
+func BenchmarkWireEncode(b *testing.B) {
+	msgs := wireBenchMessages()
+	b.Run("Binary", func(b *testing.B) {
+		var buf []byte
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = transport.AppendMessage(buf[:0], msgs[i%len(msgs)])
+		}
+		reportMsgsPerSec(b)
+	})
+	b.Run("Gob", func(b *testing.B) {
+		var buf bytes.Buffer
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if err := gob.NewEncoder(&buf).Encode(msgs[i%len(msgs)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportMsgsPerSec(b)
+	})
+}
+
+// BenchmarkWireDecode compares binary-codec decoding into pooled
+// Messages against gob decoding (one fresh decoder per message, as the
+// old readFrame worked).
+func BenchmarkWireDecode(b *testing.B) {
+	msgs := wireBenchMessages()
+	bin := make([][]byte, len(msgs))
+	gobs := make([][]byte, len(msgs))
+	for i, m := range msgs {
+		bin[i] = transport.AppendMessage(nil, m)
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+			b.Fatal(err)
+		}
+		gobs[i] = buf.Bytes()
+	}
+	b.Run("Binary", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m := transport.AcquireMessage()
+			if err := transport.DecodeMessage(bin[i%len(bin)], m); err != nil {
+				b.Fatal(err)
+			}
+			transport.ReleaseMessage(m)
+		}
+		reportMsgsPerSec(b)
+	})
+	b.Run("Gob", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var m transport.Message
+			if err := gob.NewDecoder(bytes.NewReader(gobs[i%len(gobs)])).Decode(&m); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportMsgsPerSec(b)
+	})
+}
+
+// BenchmarkWireTCPCall measures the full framed round trip on loopback
+// with the pool discipline the protocol actors use: acquire the
+// request, release it after Call, release the pooled response.
+func BenchmarkWireTCPCall(b *testing.B) {
+	tcp := transport.NewTCP()
+	defer func() { _ = tcp.Close() }()
+	addr, err := tcp.Serve("127.0.0.1:0", func(_ transport.Addr, m *transport.Message) (*transport.Message, error) {
+		resp := transport.AcquireMessage()
+		resp.Type = transport.MsgPong
+		resp.SentAt = m.SentAt
+		return resp, nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := transport.AcquireMessage()
+		req.Type = transport.MsgPing
+		req.From = "cli"
+		req.SentAt = time.Duration(i)
+		resp, err := tcp.Call(addr, req)
+		transport.ReleaseMessage(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		transport.ReleaseMessage(resp)
+	}
+	reportMsgsPerSec(b)
+}
+
+// countingTransport counts the caller's outgoing wire round trips. Only
+// the probing node runs on it; the receiver side (a relay pinging its
+// far legs) uses the wrapped transport directly, because those hops are
+// the receiver's cost, not the caller's.
+type countingTransport struct {
+	*transport.Mem
+	calls atomic.Int64
+}
+
+func (c *countingTransport) Call(to transport.Addr, req *transport.Message) (*transport.Message, error) {
+	c.calls.Add(1)
+	return c.Mem.Call(to, req)
+}
+
+// wireProbeWorld builds the 5-node latency-emulated deployment the core
+// batched-probe tests pin (internal/core/probebatch_test.go): a
+// bootstrap, two relays and two callees on a virtual clock, with the
+// caller's transport wrapped to count round trips.
+func wireProbeWorld(b *testing.B) (*sim.Clock, *core.Node, *countingTransport) {
+	b.Helper()
+	gb := asgraph.NewBuilder()
+	gb.AddNode(asgraph.Node{ASN: 1, Tier: asgraph.TierT1, X: 0, Y: 0})
+	gb.AddNode(asgraph.Node{ASN: 2, Tier: asgraph.TierT1, X: 1000, Y: 0})
+	gb.AddNode(asgraph.Node{ASN: 10, Tier: asgraph.TierTransit, X: 0, Y: 500})
+	gb.AddNode(asgraph.Node{ASN: 20, Tier: asgraph.TierTransit, X: 1000, Y: 500})
+	gb.AddNode(asgraph.Node{ASN: 100, Tier: asgraph.TierStub, X: 0, Y: 1000})
+	gb.AddNode(asgraph.Node{ASN: 200, Tier: asgraph.TierStub, X: 1000, Y: 1000})
+	gb.AddNode(asgraph.Node{ASN: 300, Tier: asgraph.TierStub, X: 500, Y: 800})
+	gb.AddEdge(1, 2, asgraph.RelP2P)
+	gb.AddEdge(10, 1, asgraph.RelC2P)
+	gb.AddEdge(20, 2, asgraph.RelC2P)
+	gb.AddEdge(100, 10, asgraph.RelC2P)
+	gb.AddEdge(200, 20, asgraph.RelC2P)
+	gb.AddEdge(300, 10, asgraph.RelC2P)
+	gb.AddEdge(300, 20, asgraph.RelC2P)
+
+	clk := &sim.Clock{}
+	mem := transport.NewMem()
+	mem.Sched = clk
+	b.Cleanup(func() { _ = mem.Close() })
+	_, err := core.NewBootstrap(mem, "bs", core.BootstrapConfig{
+		Graph: gb.Build(),
+		K:     4,
+		Prefixes: []core.PrefixOrigin{
+			{Prefix: "10.100.0.0/16", ASN: 100},
+			{Prefix: "10.200.0.0/16", ASN: 200},
+			{Prefix: "10.30.0.0/16", ASN: 300},
+			{Prefix: "10.10.0.0/16", ASN: 10},
+			{Prefix: "10.20.0.0/16", ASN: 20},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctr := &countingTransport{Mem: mem}
+	ips := map[string]string{
+		"c": "10.100.0.1", "r1": "10.30.0.1", "r2": "10.10.0.1",
+		"d1": "10.200.0.1", "d2": "10.20.0.1",
+	}
+	var caller *core.Node
+	// Joining pings peer surrogates with clock waiters, so construction
+	// runs as a clock task.
+	clk.RunTask(func() {
+		for _, name := range []string{"c", "r1", "r2", "d1", "d2"} {
+			tr := transport.Transport(mem)
+			if name == "c" {
+				tr = ctr
+			}
+			n, err := core.NewNode(tr, transport.Addr(name), core.NodeConfig{
+				IP:        ips[name],
+				Bootstrap: "bs",
+				Params:    core.DefaultParams(),
+				Sched:     clk,
+			})
+			if err != nil {
+				b.Errorf("node %s: %v", name, err)
+				return
+			}
+			if name == "c" {
+				caller = n
+			}
+		}
+	})
+	if b.Failed() {
+		b.FailNow()
+	}
+	// Latency goes live only after the joins settle; unlisted pairs are
+	// free links. Nothing is in flight here, so the assignment is safe.
+	lat := map[[2]transport.Addr]time.Duration{
+		{"c", "r1"}:  10 * time.Millisecond,
+		{"c", "r2"}:  25 * time.Millisecond,
+		{"c", "d1"}:  40 * time.Millisecond,
+		{"c", "d2"}:  45 * time.Millisecond,
+		{"r1", "d1"}: 15 * time.Millisecond,
+		{"r1", "d2"}: 30 * time.Millisecond,
+		{"r2", "d1"}: 5 * time.Millisecond,
+		{"r2", "d2"}: 20 * time.Millisecond,
+	}
+	mem.Latency = func(from, to transport.Addr) time.Duration {
+		if d, ok := lat[[2]transport.Addr{from, to}]; ok {
+			return d
+		}
+		return lat[[2]transport.Addr{to, from}]
+	}
+	return clk, caller, ctr
+}
+
+// BenchmarkWireProbeBatch measures one session-monitor probe tick for a
+// caller carrying two concurrent calls over a shared relay pool — the
+// workload MsgProbeBatch coalesces. The scalar arm issues one round
+// trip per path; the batched arm groups paths per wire destination, so
+// roundtrips/tick is the wire saving and ns/op the scheduler saving.
+func BenchmarkWireProbeBatch(b *testing.B) {
+	reqs := []session.PathRequest{
+		{Relay: "r1", Callee: "d1"},
+		{Relay: "r1", Callee: "d2"},
+		{Relay: "r2", Callee: "d1"},
+		{Relay: "r2", Callee: "d2"},
+		{Relay: "", Callee: "d1"},
+		{Relay: "", Callee: "d2"},
+		{Relay: "r1", Callee: "d1"}, // the active path doubles as a candidate
+	}
+	b.Run("Scalar", func(b *testing.B) {
+		clk, caller, ctr := wireProbeWorld(b)
+		ctr.calls.Store(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var probeErr error
+			clk.RunTask(func() {
+				for _, r := range reqs {
+					if _, _, err := caller.ProbePath(r.Relay, r.Callee); err != nil {
+						probeErr = err
+						return
+					}
+				}
+			})
+			if probeErr != nil {
+				b.Fatal(probeErr)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(ctr.calls.Load())/float64(b.N), "roundtrips/tick")
+	})
+	b.Run("Batched", func(b *testing.B) {
+		clk, caller, ctr := wireProbeWorld(b)
+		ctr.calls.Store(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var out []session.PathResult
+			clk.RunTask(func() { out = caller.ProbePaths(reqs) })
+			for j := range out {
+				if out[j].Err != nil {
+					b.Fatal(out[j].Err)
+				}
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(ctr.calls.Load())/float64(b.N), "roundtrips/tick")
+	})
+}

@@ -1,13 +1,14 @@
 // Command asaplint is the repo's invariant gate: a static-analysis
 // multichecker enforcing the determinism, time-model and concurrency
 // rules that make experiment runs byte-identical for a given seed
-// (DESIGN.md §11). It runs five analyzers over internal/:
+// (DESIGN.md §11). It runs six analyzers over internal/:
 //
 //	schedtime  — no direct time-package scheduling or clock reads
 //	seededrand — no global math/rand, no wall-clock-seeded sources
 //	schedgo    — no bare `go` statements off the Scheduler
 //	maporder   — no map iteration order leaking into output
 //	lockio     — no transport I/O while a mutex is held
+//	poolreturn — no transport pool acquire without a release on every path
 //
 // Usage:
 //
@@ -33,6 +34,7 @@ import (
 	"asap/internal/lint/loader"
 	"asap/internal/lint/lockio"
 	"asap/internal/lint/maporder"
+	"asap/internal/lint/poolreturn"
 	"asap/internal/lint/schedgo"
 	"asap/internal/lint/schedtime"
 	"asap/internal/lint/seededrand"
@@ -44,6 +46,7 @@ var analyzers = []*analysis.Analyzer{
 	schedgo.Analyzer,
 	maporder.Analyzer,
 	lockio.Analyzer,
+	poolreturn.Analyzer,
 }
 
 type finding struct {

@@ -537,6 +537,36 @@ func (n *Node) handle(from transport.Addr, req *transport.Message) (*transport.M
 		}
 		return &transport.Message{Type: transport.MsgRelayProbeReply, RTT: rtt}, nil
 
+	case transport.MsgProbeBatch:
+		// Relay role, batched: measure our leg to every probe destination
+		// in one round trip. Legs run concurrently, so the caller recovers
+		// its own leg as elapsed - max(leg RTTs); an empty destination
+		// means "the path ends here" and costs nothing. An unreachable
+		// destination answers -1 rather than failing the whole batch, so
+		// each path degrades individually (DESIGN.md §15).
+		rtts := make([]time.Duration, len(req.ProbeDsts))
+		fns := make([]func(), 0, len(req.ProbeDsts))
+		for i, dst := range req.ProbeDsts {
+			if dst == "" {
+				continue
+			}
+			i, dst := i, dst
+			fns = append(fns, func() {
+				rtt, err := n.Ping(dst)
+				if err != nil {
+					rtt = -1
+				}
+				rtts[i] = rtt
+			})
+		}
+		if len(fns) > 0 {
+			n.sched.Join(0, fns...)
+		}
+		resp := transport.AcquireMessage()
+		resp.Type = transport.MsgProbeBatchReply
+		resp.ProbeRTTs = rtts
+		return resp, nil
+
 	case transport.MsgMediaSetup:
 		return n.handleMediaSetup(from, req)
 

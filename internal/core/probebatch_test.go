@@ -1,0 +1,154 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"asap/internal/session"
+	"asap/internal/sim"
+	"asap/internal/transport"
+)
+
+// These tests pin the batched probe path (ProbePaths / MsgProbeBatch) to
+// the scalar ProbePath it replaces: under a virtual clock with synthetic
+// link latency, the batched measurements must be the exact durations the
+// scalar calls would have observed, and unreachable legs must degrade
+// per path instead of failing the whole batch.
+
+// probeBatchWorld builds a latency-emulated Mem deployment on a virtual
+// clock: a bootstrap, two relays, a caller and two callees. Bootstrap
+// links are free so node construction can run outside clock tasks.
+func probeBatchWorld(t *testing.T) (*sim.Clock, *Node, map[string]*Node) {
+	t.Helper()
+	clk := &sim.Clock{}
+	lat := map[[2]transport.Addr]time.Duration{
+		{"c", "r1"}:  10 * time.Millisecond,
+		{"c", "r2"}:  25 * time.Millisecond,
+		{"c", "d1"}:  40 * time.Millisecond,
+		{"r1", "d1"}: 15 * time.Millisecond,
+		{"r1", "d2"}: 30 * time.Millisecond,
+		{"r2", "d1"}: 5 * time.Millisecond,
+	}
+	mem := transport.NewMem()
+	mem.Sched = clk
+	t.Cleanup(func() { _ = mem.Close() })
+	bs, err := NewBootstrap(mem, "bs", actorBootstrapConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make(map[string]*Node)
+	// Joining pings peer surrogates with clock waiters, so construction
+	// runs as a clock task.
+	ips := map[string]string{
+		"c": "10.100.0.1", "r1": "10.30.0.1", "r2": "10.10.0.1",
+		"d1": "10.200.0.1", "d2": "10.20.0.1",
+	}
+	clk.RunTask(func() {
+		for _, name := range []string{"c", "r1", "r2", "d1", "d2"} {
+			n, err := NewNode(mem, transport.Addr(name), NodeConfig{
+				IP:        ips[name],
+				Bootstrap: bs.Addr(),
+				Params:    testParams(),
+				Sched:     clk,
+			})
+			if err != nil {
+				t.Errorf("node %s: %v", name, err)
+				return
+			}
+			nodes[name] = n
+		}
+	})
+	if t.Failed() {
+		t.FailNow()
+	}
+	// Latency goes live only after the joins settle: construction runs on
+	// free links outside clock tasks, the probes under test pay the
+	// emulated delays inside RunTask. Nothing is in flight here (no
+	// leases, no background timers), so the plain assignment is safe.
+	mem.Latency = func(from, to transport.Addr) time.Duration {
+		if d, ok := lat[[2]transport.Addr{from, to}]; ok {
+			return d
+		}
+		return lat[[2]transport.Addr{to, from}]
+	}
+	return clk, nodes["c"], nodes
+}
+
+func TestProbePathsMatchesScalarProbePath(t *testing.T) {
+	clk, caller, nodes := probeBatchWorld(t)
+
+	// The callee reports in-call quality so the loss fan-in is exercised
+	// on both the scalar and batched paths. The report crosses a
+	// latency-emulated link, so it must run as a clock task.
+	clk.RunTask(func() {
+		if err := nodes["d1"].SendQualityReport(caller.Addr(), 1, 70*time.Millisecond, 0.03); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	reqs := []session.PathRequest{
+		{Relay: "r1", Callee: "d1"},
+		{Relay: "r1", Callee: "d2"},
+		{Relay: "r2", Callee: "d1"},
+		{Relay: "", Callee: "d1"},
+		{Relay: "r1", Callee: "d1"}, // duplicate: shares the first leg
+	}
+
+	// Scalar reference: each path measured on its own, sequentially, so
+	// every sample is a clean virtual-clock round trip.
+	want := make([]session.PathResult, len(reqs))
+	clk.RunTask(func() {
+		for i, r := range reqs {
+			want[i].RTT, want[i].Loss, want[i].Err = caller.ProbePath(r.Relay, r.Callee)
+		}
+	})
+
+	var got []session.PathResult
+	clk.RunTask(func() { got = caller.ProbePaths(reqs) })
+
+	for i := range reqs {
+		if (want[i].Err == nil) != (got[i].Err == nil) {
+			t.Fatalf("req %d: scalar err %v vs batched err %v", i, want[i].Err, got[i].Err)
+		}
+		if got[i].RTT != want[i].RTT {
+			t.Errorf("req %d (%+v): batched RTT %v, scalar %v", i, reqs[i], got[i].RTT, want[i].RTT)
+		}
+		if got[i].Loss != want[i].Loss {
+			t.Errorf("req %d: batched loss %.3f, scalar %.3f", i, got[i].Loss, want[i].Loss)
+		}
+	}
+	// Sanity-pin one value so the latency emulation itself is trusted:
+	// c->r1->d1 is 2*(10ms) + 2*(15ms) = 50ms.
+	if want[0].RTT != 50*time.Millisecond {
+		t.Errorf("scalar c->r1->d1 RTT = %v, want 50ms", want[0].RTT)
+	}
+	if want[0].Loss != 0.03 {
+		t.Errorf("scalar loss = %.3f, want the reported 0.03", want[0].Loss)
+	}
+}
+
+func TestProbePathsUnreachableLegDegradesAlone(t *testing.T) {
+	clk, caller, _ := probeBatchWorld(t)
+
+	reqs := []session.PathRequest{
+		{Relay: "r1", Callee: "d1"},
+		{Relay: "r1", Callee: "ghost"}, // relay's far leg is dead
+		{Relay: "", Callee: "ghost"},   // the wire target itself is dead
+	}
+	var got []session.PathResult
+	clk.RunTask(func() { got = caller.ProbePaths(reqs) })
+
+	if got[0].Err != nil {
+		t.Fatalf("healthy path failed alongside dead legs: %v", got[0].Err)
+	}
+	if got[0].RTT != 50*time.Millisecond {
+		t.Errorf("healthy path RTT = %v, want 50ms", got[0].RTT)
+	}
+	if got[1].Err == nil || !errors.Is(got[1].Err, transport.ErrUnreachable) {
+		t.Errorf("dead far leg error = %v, want ErrUnreachable", got[1].Err)
+	}
+	if got[2].Err == nil || !errors.Is(got[2].Err, transport.ErrUnreachable) {
+		t.Errorf("dead direct target error = %v, want ErrUnreachable", got[2].Err)
+	}
+}

@@ -265,26 +265,45 @@ func (s *System) constructCloseClusterSet(cid cluster.ClusterID) *CloseSet {
 	// which goroutine constructs it or what other probes ran before.
 	probe := s.prober.WithRNG(sim.NewRNG(sim.SubSeed(s.seed, uint64(cid)))).WithCounters(ctr)
 
+	// Per-AS probe rounds travel batched: the AS's candidate clusters go
+	// through one vectorized ground-truth visit (and, in the deployed
+	// protocol, one MsgProbeBatch round trip) instead of two scalar
+	// probes per cluster. ProbeClusterSet consumes the RNG stream in
+	// exactly the scalar order, so sets are bit-identical per seed. The
+	// scratch slices grow once and persist across the traversal.
+	var targets []cluster.ClusterID
+	var probes []netmodel.ClusterProbe
 	s.model.Graph().ValleyFreeTraverse(owner.AS, s.params.K, func(asn asgraph.ASN, hops int) bool {
 		clusters := s.pop.ClustersInAS(asn)
 		if len(clusters) == 0 {
 			return true // nothing to probe; keep exploring through it
 		}
 		anyClose := false
+		targets = targets[:0]
 		for _, rc := range clusters {
 			if rc == cid {
 				anyClose = true // own AS is trivially close
 				continue
 			}
-			rtt, ok := probe.ClusterRTT(cid, rc)
-			if !ok || rtt >= s.params.LatT {
+			targets = append(targets, rc)
+		}
+		if len(targets) == 0 {
+			return anyClose
+		}
+		if cap(probes) < len(targets) {
+			probes = make([]netmodel.ClusterProbe, len(targets))
+		}
+		probes = probes[:len(targets)]
+		probe.ProbeClusterSet(cid, targets, s.params.LatT, probes)
+		for i, rc := range targets {
+			pr := probes[i]
+			if !pr.RTTOK || pr.RTT >= s.params.LatT {
 				continue
 			}
-			loss, ok := probe.ClusterLoss(cid, rc)
-			if !ok || loss >= s.params.LossT {
+			if !pr.LossOK || pr.Loss >= s.params.LossT {
 				continue
 			}
-			cs.Lat[rc] = rtt
+			cs.Lat[rc] = pr.RTT
 			anyClose = true
 		}
 		// Prune expansion when every probed cluster in this AS missed the

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"asap/internal/session"
 	"asap/internal/transport"
 )
 
@@ -103,6 +104,128 @@ func (n *Node) ProbePath(relay, callee transport.Addr) (time.Duration, float64, 
 		loss = q.Loss
 	}
 	return n.sched.Now() - start, loss, nil
+}
+
+// probeGroup is one wire destination's share of a batched probe tick:
+// the unique far legs to measure through it, and which result slots
+// each leg feeds.
+type probeGroup struct {
+	target transport.Addr   // where the MsgProbeBatch travels
+	dsts   []transport.Addr // unique far legs ("" = the target itself)
+	slots  [][]int          // slots[j] = result indices fed by dsts[j]
+}
+
+// ProbePaths implements session.BatchDriver: the tick's paths are
+// grouped per wire destination — the relay, or the callee itself on
+// direct paths — and each group travels as one MsgProbeBatch round
+// trip instead of one call per path. The receiver measures its far
+// legs concurrently and replies with per-leg RTTs; since the legs
+// overlap in time, this node's own leg is elapsed - max(leg RTTs), and
+// each path's total is own leg + its far leg — the same sample the
+// scalar ProbePath would have measured (DESIGN.md §15). Groups are
+// built in first-seen order, so the wire schedule is deterministic.
+func (n *Node) ProbePaths(reqs []session.PathRequest) []session.PathResult {
+	out := make([]session.PathResult, len(reqs))
+	var groups []probeGroup
+	gidx := make(map[transport.Addr]int, len(reqs))
+	for i, r := range reqs {
+		target, dst := r.Relay, r.Callee
+		if target == "" {
+			target, dst = r.Callee, ""
+		}
+		gi, ok := gidx[target]
+		if !ok {
+			gi = len(groups)
+			gidx[target] = gi
+			groups = append(groups, probeGroup{target: target})
+		}
+		g := &groups[gi]
+		di := -1
+		for j, d := range g.dsts {
+			if d == dst {
+				di = j
+				break
+			}
+		}
+		if di < 0 {
+			di = len(g.dsts)
+			g.dsts = append(g.dsts, dst)
+			g.slots = append(g.slots, nil)
+		}
+		g.slots[di] = append(g.slots[di], i)
+	}
+	switch len(groups) {
+	case 0:
+	case 1:
+		n.runProbeGroup(&groups[0], out)
+	default:
+		fns := make([]func(), len(groups))
+		for i := range groups {
+			g := &groups[i]
+			fns[i] = func() { n.runProbeGroup(g, out) }
+		}
+		n.sched.Join(0, fns...)
+	}
+	for i := range out {
+		if out[i].Err == nil {
+			if q, ok := n.PeerQuality(reqs[i].Callee); ok {
+				out[i].Loss = q.Loss
+			}
+		}
+	}
+	return out
+}
+
+// runProbeGroup sends one MsgProbeBatch and fans its reply out into the
+// result slots the group's paths own.
+func (n *Node) runProbeGroup(g *probeGroup, out []session.PathResult) {
+	fail := func(err error) {
+		for _, idxs := range g.slots {
+			for _, i := range idxs {
+				out[i].Err = err
+			}
+		}
+	}
+	start := n.sched.Now()
+	req := transport.AcquireMessage()
+	req.Type = transport.MsgProbeBatch
+	req.From = n.addr
+	req.ProbeDsts = g.dsts
+	resp, err := n.tr.Call(g.target, req)
+	transport.ReleaseMessage(req)
+	elapsed := n.sched.Now() - start
+	if err != nil {
+		fail(err)
+		return
+	}
+	if resp.Type != transport.MsgProbeBatchReply || len(resp.ProbeRTTs) != len(g.dsts) {
+		fail(fmt.Errorf("core: bad probe batch reply from %s", g.target))
+		transport.ReleaseMessage(resp)
+		return
+	}
+	var maxLeg time.Duration
+	for _, leg := range resp.ProbeRTTs {
+		if leg > maxLeg {
+			maxLeg = leg
+		}
+	}
+	own := elapsed - maxLeg
+	if own < 0 {
+		own = 0
+	}
+	for j, idxs := range g.slots {
+		leg := resp.ProbeRTTs[j]
+		if leg < 0 {
+			for _, i := range idxs {
+				out[i].Err = fmt.Errorf("core: probe batch via %s: %w: %s", g.target, transport.ErrUnreachable, g.dsts[j])
+			}
+			continue
+		}
+		for _, i := range idxs {
+			out[i].RTT = own + leg
+		}
+	}
+	transport.ReleaseMessage(resp)
 }
 
 // Keepalive checks that target (the active relay, or the callee on a

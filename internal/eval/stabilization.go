@@ -118,6 +118,18 @@ func (d *groundDriver) ProbePath(relay, callee transport.Addr) (time.Duration, f
 	return p.RTT, p.Loss, nil
 }
 
+// ProbePaths implements session.BatchDriver, so the stabilization arm
+// exercises the manager's batched probe flow — the same code path a
+// live core.Node drives. Ground-truth lookups cost no virtual time, so
+// answering sequentially measures exactly what per-path probes would.
+func (d *groundDriver) ProbePaths(reqs []session.PathRequest) []session.PathResult {
+	out := make([]session.PathResult, len(reqs))
+	for i, r := range reqs {
+		out[i].RTT, out[i].Loss, out[i].Err = d.ProbePath(r.Relay, r.Callee)
+	}
+	return out
+}
+
 func (d *groundDriver) Keepalive(target transport.Addr, flowID uint64) error {
 	if d.isDead(target) {
 		return fmt.Errorf("eval: relay %s unreachable", target)

@@ -1,0 +1,12 @@
+package poolreturn_test
+
+import (
+	"testing"
+
+	"asap/internal/lint/analysistest"
+	"asap/internal/lint/poolreturn"
+)
+
+func TestPoolreturn(t *testing.T) {
+	analysistest.Run(t, "testdata", poolreturn.Analyzer, "a", "asap/internal/transport")
+}

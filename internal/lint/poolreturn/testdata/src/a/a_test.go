@@ -1,0 +1,9 @@
+package a
+
+import "asap/internal/transport"
+
+// Test files are exempt: this would be a finding in a non-test file.
+func leakInTest() {
+	m := transport.AcquireMessage()
+	_ = m
+}

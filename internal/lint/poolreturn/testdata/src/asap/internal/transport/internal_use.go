@@ -1,0 +1,40 @@
+package transport
+
+import "errors"
+
+// The unexported pool pair is only reachable inside the transport
+// package itself; these fixtures pin the analyzer there, where the
+// real frame reader/writer live.
+
+func writeOK(n int) error {
+	bp := acquireBuf()
+	if n > 10 {
+		releaseBuf(bp)
+		return errors.New("too large")
+	}
+	releaseBuf(bp)
+	return nil
+}
+
+func writeLeakOnError(n int) error { // the classic: error path forgets the buffer
+	bp := acquireBuf()
+	if n > 10 {
+		return errors.New("too large") // want "pooled value bp reaches this return"
+	}
+	releaseBuf(bp)
+	return nil
+}
+
+func readLeakAtEnd() {
+	bp := acquireBuf()
+	_ = bp
+} // want "pooled value bp reaches the end of the function"
+
+func deferredRelease(n int) error {
+	bp := acquireBuf()
+	defer releaseBuf(bp)
+	if n > 10 {
+		return errors.New("too large")
+	}
+	return nil
+}

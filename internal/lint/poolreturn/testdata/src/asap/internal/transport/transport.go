@@ -1,0 +1,25 @@
+// Package transport is a fixture stand-in for the real transport layer:
+// the poolreturn analyzer recognizes pool acquires/releases by function
+// name on any package whose import path ends in "transport".
+package transport
+
+// Message is a stub pooled wire message.
+type Message struct {
+	Type int
+}
+
+// AcquireMessage takes an envelope from the pool.
+func AcquireMessage() *Message { return &Message{} }
+
+// ReleaseMessage returns an envelope to the pool.
+func ReleaseMessage(m *Message) {}
+
+// Call is a stub round-trip so fixtures can borrow a pooled message.
+func Call(to string, m *Message) (*Message, error) { return m, nil }
+
+// acquireBuf takes a scratch buffer from the pool (package-internal
+// pair, exercised by the fixture file in this package).
+func acquireBuf() *[]byte { b := make([]byte, 0); return &b }
+
+// releaseBuf returns a scratch buffer to the pool.
+func releaseBuf(b *[]byte) {}

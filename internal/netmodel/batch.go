@@ -1,0 +1,189 @@
+package netmodel
+
+import (
+	"sync"
+	"time"
+
+	"asap/internal/cluster"
+)
+
+// Vectorized ground-truth lookups (DESIGN.md §15). The scalar
+// ClusterRTT/HostRTT path costs one shard visit — lock, probe, unlock —
+// per pair, plus one condMu round trip per cache miss. A candidate set
+// evaluation (close-set construction, relay scoring) asks about tens of
+// pairs that share one endpoint, so the batch forms visit each touched
+// cache shard once per phase and compute every miss under a single
+// condition snapshot. Results are identical to the scalar calls by
+// construction: hits return the cached value, misses run the same
+// asPathLocked walk, and stores carry the same generation check
+// clusterPath uses, so a racing SetCondition discards the whole fill.
+
+// PairStat is one batched ground-truth measurement: the RTT and loss
+// between the batch's owner endpoint and one target. OK is false for
+// disconnected pairs.
+type PairStat struct {
+	RTT  time.Duration
+	Loss float64
+	OK   bool
+}
+
+// batchScratch recycles the per-call working set so steady-state batch
+// lookups allocate nothing.
+type batchScratch struct {
+	keys     []uint64
+	shardIdx []uint8
+	stats    []pathStats
+	targets  []cluster.ClusterID
+	idx      []int
+	pairs    []PairStat
+}
+
+var batchScratchPool = sync.Pool{New: func() interface{} { return new(batchScratch) }}
+
+func (sc *batchScratch) grow(n int) {
+	if cap(sc.keys) < n {
+		sc.keys = make([]uint64, n)
+		sc.shardIdx = make([]uint8, n)
+		sc.stats = make([]pathStats, n)
+	}
+	sc.keys = sc.keys[:n]
+	sc.shardIdx = sc.shardIdx[:n]
+	sc.stats = sc.stats[:n]
+}
+
+// ClusterStatsBatch fills out[i] with the ground-truth stats between
+// owner and targets[i], equivalent to ClusterRTT+ClusterLoss per pair
+// but with each touched cache shard visited once for the read pass and
+// once for the (miss-only) store pass, and all misses computed under
+// one condMu snapshot. out must be at least len(targets) long.
+func (m *Model) ClusterStatsBatch(owner cluster.ClusterID, targets []cluster.ClusterID, out []PairStat) {
+	sc := batchScratchPool.Get().(*batchScratch)
+	defer batchScratchPool.Put(sc)
+	sc.grow(len(targets))
+
+	// Key phase. A zero key marks a slot already resolved: same-cluster
+	// pairs here, cache hits after the read pass. (pairKey is zero only
+	// when both cluster IDs are zero — the same-cluster case.)
+	var used, missed [cacheShards]bool
+	pending := 0
+	for i, t := range targets {
+		if t == owner {
+			sc.keys[i] = 0
+			sc.stats[i] = pathStats{rtt: 2 * m.cfg.IntraASOneWay, ok: true}
+			continue
+		}
+		k := pairKey(owner, t)
+		sc.keys[i] = k
+		sc.shardIdx[i] = uint8((k ^ k>>32) % cacheShards)
+		used[sc.shardIdx[i]] = true
+		pending++
+	}
+
+	// Read pass: one RLock per touched shard.
+	if pending > 0 {
+		pending = 0
+		for s := 0; s < cacheShards; s++ {
+			if !used[s] {
+				continue
+			}
+			sh := &m.shards[s]
+			sh.mu.RLock()
+			for i := range targets {
+				if sc.keys[i] == 0 || sc.shardIdx[i] != uint8(s) {
+					continue
+				}
+				if st, ok := sh.m[sc.keys[i]]; ok {
+					sc.stats[i] = st
+					sc.keys[i] = 0
+				} else {
+					missed[s] = true
+					pending++
+				}
+			}
+			sh.mu.RUnlock()
+		}
+	}
+
+	// Compute pass: every miss under one condition snapshot. condGen
+	// cannot move while the read lock is held (mutations hold the write
+	// lock across the bump), so the generation read inside is the one
+	// all computed values belong to.
+	var gen uint64
+	if pending > 0 {
+		ownerAS := m.pop.Cluster(owner).AS
+		m.condMu.RLock()
+		gen = m.condGen.Load()
+		for i := range targets {
+			if sc.keys[i] != 0 {
+				sc.stats[i] = m.asPathLocked(ownerAS, m.pop.Cluster(targets[i]).AS)
+			}
+		}
+		m.condMu.RUnlock()
+
+		// Store pass: one Lock per shard that had misses, skipped
+		// entirely when a condition mutation raced the compute.
+		for s := 0; s < cacheShards; s++ {
+			if !missed[s] {
+				continue
+			}
+			sh := &m.shards[s]
+			sh.mu.Lock()
+			if m.condGen.Load() == gen {
+				for i := range targets {
+					if sc.keys[i] != 0 && sc.shardIdx[i] == uint8(s) {
+						sh.m[sc.keys[i]] = sc.stats[i]
+					}
+				}
+			}
+			sh.mu.Unlock()
+		}
+	}
+
+	for i := range targets {
+		out[i] = PairStat{RTT: sc.stats[i].rtt, Loss: sc.stats[i].loss, OK: sc.stats[i].ok}
+	}
+}
+
+// HostStatsBatch fills out[i] with the ground-truth stats between host
+// a and hosts bs[i] — HostRTT+HostLoss per pair, resolved through one
+// ClusterStatsBatch visit. out must be at least len(bs) long.
+func (m *Model) HostStatsBatch(a cluster.HostID, bs []cluster.HostID, out []PairStat) {
+	sc := batchScratchPool.Get().(*batchScratch)
+	defer batchScratchPool.Put(sc)
+	sc.targets = sc.targets[:0]
+	sc.idx = sc.idx[:0]
+
+	ha := m.pop.Host(a)
+	for i, b := range bs {
+		if b == a {
+			out[i] = PairStat{OK: true}
+			continue
+		}
+		hb := m.pop.Host(b)
+		access := 2 * (ha.AccessDelay + hb.AccessDelay)
+		if hb.Cluster == ha.Cluster {
+			out[i] = PairStat{RTT: access, OK: true}
+			continue
+		}
+		// Park the access term in the output slot; the scatter below
+		// adds the cluster-path RTT on top.
+		out[i] = PairStat{RTT: access}
+		sc.targets = append(sc.targets, hb.Cluster)
+		sc.idx = append(sc.idx, i)
+	}
+	if len(sc.targets) == 0 {
+		return
+	}
+	if cap(sc.pairs) < len(sc.targets) {
+		sc.pairs = make([]PairStat, len(sc.targets))
+	}
+	sc.pairs = sc.pairs[:len(sc.targets)]
+	m.ClusterStatsBatch(ha.Cluster, sc.targets, sc.pairs)
+	for j, i := range sc.idx {
+		if !sc.pairs[j].OK {
+			out[i] = PairStat{}
+			continue
+		}
+		out[i] = PairStat{RTT: sc.pairs[j].RTT + out[i].RTT, Loss: sc.pairs[j].Loss, OK: true}
+	}
+}

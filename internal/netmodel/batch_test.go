@@ -1,0 +1,183 @@
+package netmodel
+
+import (
+	"testing"
+	"time"
+
+	"asap/internal/cluster"
+	"asap/internal/sim"
+)
+
+// The batch lookups must be drop-in equivalents of the scalar calls:
+// same values pair for pair, cold cache or warm, before and after a
+// condition mutation — and allocation-free at steady state.
+
+func batchTargets(m *Model, rng *sim.RNG, owner cluster.ClusterID, n int) []cluster.ClusterID {
+	pop := m.Population()
+	targets := make([]cluster.ClusterID, 0, n+2)
+	for i := 0; i < n; i++ {
+		targets = append(targets, cluster.ClusterID(rng.Intn(pop.NumClusters())))
+	}
+	// Edge cases the batch key phase special-cases: the owner itself, and
+	// a duplicate of an earlier target (same cache key twice in one call).
+	targets = append(targets, owner, targets[0])
+	return targets
+}
+
+func assertClusterBatchMatches(t *testing.T, m *Model, owner cluster.ClusterID, targets []cluster.ClusterID) {
+	t.Helper()
+	out := make([]PairStat, len(targets))
+	m.ClusterStatsBatch(owner, targets, out)
+	for i, tc := range targets {
+		rtt, rok := m.ClusterRTT(owner, tc)
+		loss, lok := m.ClusterLoss(owner, tc)
+		if out[i].OK != rok || out[i].OK != lok {
+			t.Fatalf("target %d (%d->%d): batch ok=%v, scalar rtt ok=%v loss ok=%v", i, owner, tc, out[i].OK, rok, lok)
+		}
+		if !out[i].OK {
+			continue
+		}
+		if out[i].RTT != rtt || out[i].Loss != loss {
+			t.Errorf("target %d (%d->%d): batch (%v, %g), scalar (%v, %g)", i, owner, tc, out[i].RTT, out[i].Loss, rtt, loss)
+		}
+	}
+}
+
+func TestClusterStatsBatchMatchesScalar(t *testing.T) {
+	m, rng := testModel(t, 200, 1500, 90, DefaultConfig())
+	pop := m.Population()
+	for round := 0; round < 10; round++ {
+		owner := cluster.ClusterID(rng.Intn(pop.NumClusters()))
+		targets := batchTargets(m, rng, owner, 30)
+		// Cold pass populates the cache, warm pass replays it.
+		assertClusterBatchMatches(t, m, owner, targets)
+		assertClusterBatchMatches(t, m, owner, targets)
+	}
+
+	// A condition mutation drops the cache and changes ground truth; the
+	// batch must track the scalar path through it.
+	owner := cluster.ClusterID(rng.Intn(pop.NumClusters()))
+	targets := batchTargets(m, rng, owner, 30)
+	assertClusterBatchMatches(t, m, owner, targets)
+	asn := pop.Cluster(targets[0]).AS
+	m.SetCondition(asn, Condition{ExtraOneWay: 50 * time.Millisecond})
+	assertClusterBatchMatches(t, m, owner, targets)
+	m.ResetConditions()
+	assertClusterBatchMatches(t, m, owner, targets)
+}
+
+func TestHostStatsBatchMatchesScalar(t *testing.T) {
+	m, rng := testModel(t, 200, 1500, 91, DefaultConfig())
+	pop := m.Population()
+	for round := 0; round < 10; round++ {
+		a := cluster.HostID(rng.Intn(pop.NumHosts()))
+		bs := make([]cluster.HostID, 0, 34)
+		for i := 0; i < 30; i++ {
+			bs = append(bs, cluster.HostID(rng.Intn(pop.NumHosts())))
+		}
+		// Edge cases: the owner host itself, a same-cluster neighbour, and
+		// a duplicate target.
+		bs = append(bs, a, bs[0])
+		if sib := pop.Cluster(pop.Host(a).Cluster).Hosts[0]; sib != a {
+			bs = append(bs, sib)
+		}
+		out := make([]PairStat, len(bs))
+		m.HostStatsBatch(a, bs, out)
+		for i, b := range bs {
+			rtt, rok := m.HostRTT(a, b)
+			loss, lok := m.HostLoss(a, b)
+			if out[i].OK != rok || out[i].OK != lok {
+				t.Fatalf("pair %d (%d->%d): batch ok=%v, scalar rtt ok=%v loss ok=%v", i, a, b, out[i].OK, rok, lok)
+			}
+			if !out[i].OK {
+				continue
+			}
+			if out[i].RTT != rtt || out[i].Loss != loss {
+				t.Errorf("pair %d (%d->%d): batch (%v, %g), scalar (%v, %g)", i, a, b, out[i].RTT, out[i].Loss, rtt, loss)
+			}
+		}
+	}
+}
+
+// TestProbeClusterSetMatchesScalarSequence pins the RNG contract: with
+// identical streams, the batched probe round produces bit-identical
+// measurements and identical message accounting to the scalar
+// ClusterRTT-then-ClusterLoss sequence it replaces.
+func TestProbeClusterSetMatchesScalarSequence(t *testing.T) {
+	m, rng := testModel(t, 200, 1500, 92, DefaultConfig())
+	pop := m.Population()
+	cfg := DefaultProberConfig()
+	cfg.ResponseProb = 0.7 // force plenty of non-responses into the stream
+	latT := 150 * time.Millisecond
+
+	for round := 0; round < 20; round++ {
+		owner := cluster.ClusterID(rng.Intn(pop.NumClusters()))
+		targets := batchTargets(m, rng, owner, 25)
+		seed := int64(1000 + round)
+
+		sCtr := sim.NewCounters()
+		sp, err := NewProber(m, cfg, sim.NewRNG(seed), sCtr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]ClusterProbe, len(targets))
+		for i, tc := range targets {
+			var pr ClusterProbe
+			pr.RTT, pr.RTTOK = sp.ClusterRTT(owner, tc)
+			if pr.RTTOK && pr.RTT < latT {
+				pr.Loss, pr.LossOK = sp.ClusterLoss(owner, tc)
+			}
+			want[i] = pr
+		}
+
+		bCtr := sim.NewCounters()
+		bp, err := NewProber(m, cfg, sim.NewRNG(seed), bCtr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]ClusterProbe, len(targets))
+		bp.ProbeClusterSet(owner, targets, latT, got)
+
+		for i := range targets {
+			if got[i] != want[i] {
+				t.Fatalf("round %d target %d: batched %+v, scalar %+v", round, i, got[i], want[i])
+			}
+		}
+		if s, b := sCtr.Total(), bCtr.Total(); s != b {
+			t.Errorf("round %d: batched charged %d messages, scalar %d", round, b, s)
+		}
+	}
+}
+
+// TestClusterStatsBatchAllocs gates the vectorized lookup's zero-alloc
+// claim: with a warm cache and reused output, a batch visit allocates
+// nothing.
+func TestClusterStatsBatchAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are meaningless under -race")
+	}
+	m, rng := testModel(t, 200, 1500, 93, DefaultConfig())
+	pop := m.Population()
+	owner := cluster.ClusterID(rng.Intn(pop.NumClusters()))
+	targets := batchTargets(m, rng, owner, 40)
+	out := make([]PairStat, len(targets))
+	m.ClusterStatsBatch(owner, targets, out) // warm the cache and the scratch pool
+
+	if n := testing.AllocsPerRun(200, func() {
+		m.ClusterStatsBatch(owner, targets, out)
+	}); n != 0 {
+		t.Errorf("warm ClusterStatsBatch allocates %.1f per run, want 0", n)
+	}
+
+	a := pop.Cluster(owner).Hosts[0]
+	bs := make([]cluster.HostID, len(targets))
+	for i, tc := range targets {
+		bs[i] = pop.Cluster(tc).Hosts[0]
+	}
+	m.HostStatsBatch(a, bs, out)
+	if n := testing.AllocsPerRun(200, func() {
+		m.HostStatsBatch(a, bs, out)
+	}); n != 0 {
+		t.Errorf("warm HostStatsBatch allocates %.1f per run, want 0", n)
+	}
+}

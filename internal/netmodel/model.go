@@ -428,14 +428,23 @@ func (m *Model) clusterPath(c1, c2 cluster.ClusterID) pathStats {
 	return st
 }
 
-// asPath computes path stats between two ASes. The table is always keyed
-// on the smaller ASN: forward and reverse policy paths can legitimately
-// differ, and RTT ground truth must not depend on router-cache state.
-// It holds condMu for reading so the condition map is observed as one
-// consistent snapshot across the whole path walk.
+// asPath computes path stats between two ASes. It holds condMu for
+// reading so the condition map is observed as one consistent snapshot
+// across the whole path walk.
 func (m *Model) asPath(a, b asgraph.ASN) pathStats {
 	m.condMu.RLock()
 	defer m.condMu.RUnlock()
+	return m.asPathLocked(a, b)
+}
+
+// asPathLocked is asPath's body, for callers that already hold condMu
+// (the batch lookups compute many paths under one condition snapshot —
+// re-acquiring the read lock per path would both cost a lock round
+// trip each and risk writer starvation between recursive RLocks). The
+// table is always keyed on the smaller ASN: forward and reverse policy
+// paths can legitimately differ, and RTT ground truth must not depend
+// on router-cache state.
+func (m *Model) asPathLocked(a, b asgraph.ASN) pathStats {
 	if a == b {
 		oneWay := m.cfg.IntraASOneWay
 		var loss float64

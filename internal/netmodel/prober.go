@@ -170,3 +170,56 @@ func (p *Prober) ClusterLoss(a, b cluster.ClusterID) (float64, bool) {
 	}
 	return p.m.ClusterLoss(a, b)
 }
+
+// ClusterProbe is one result of a batched close-set measurement round:
+// the RTT measurement toward one target and, when the RTT came back
+// under the round's latency threshold, the follow-up loss sample.
+type ClusterProbe struct {
+	RTT    time.Duration
+	RTTOK  bool
+	Loss   float64
+	LossOK bool
+}
+
+// ProbeClusterSet measures owner→targets[i] RTT for every target, and
+// loss for the targets whose measured RTT landed under latT — the
+// close-set construction pattern (Fig. 9): a cluster too far away is
+// never worth a loss train. The ground truth for the whole set is
+// fetched in one vectorized cache visit (ClusterStatsBatch) before any
+// noise is drawn, and the per-target draw order — response Bool, noise
+// Normal, then the conditional loss-response Bool — is exactly the
+// sequence the scalar ClusterRTT/ClusterLoss calls consume, so a given
+// RNG stream produces bit-identical results either way. Message
+// counters are charged the same totals in two bulk adds. out must be
+// at least len(targets) long.
+func (p *Prober) ProbeClusterSet(owner cluster.ClusterID, targets []cluster.ClusterID, latT time.Duration, out []ClusterProbe) {
+	sc := batchScratchPool.Get().(*batchScratch)
+	if cap(sc.pairs) < len(targets) {
+		sc.pairs = make([]PairStat, len(targets))
+	}
+	sc.pairs = sc.pairs[:len(targets)]
+	p.m.ClusterStatsBatch(owner, targets, sc.pairs)
+	var nRTT, nLoss int64
+	for i := range targets {
+		st := sc.pairs[i]
+		pr := ClusterProbe{}
+		nRTT++
+		if p.rng.Bool(p.ResponseProb) && st.OK {
+			pr.RTT = p.noisy(st.RTT)
+			pr.RTTOK = true
+		}
+		if pr.RTTOK && pr.RTT < latT {
+			nLoss++
+			if p.rng.Bool(p.ResponseProb) {
+				pr.Loss = st.Loss
+				pr.LossOK = true
+			}
+		}
+		out[i] = pr
+	}
+	batchScratchPool.Put(sc)
+	p.counters.Add("probe.cluster_rtt", nRTT*p.MessagesPerProbe)
+	if nLoss > 0 {
+		p.counters.Add("probe.cluster_loss", nLoss*p.MessagesPerProbe)
+	}
+}

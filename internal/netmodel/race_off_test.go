@@ -1,0 +1,7 @@
+//go:build !race
+
+package netmodel
+
+// raceEnabled gates allocation-count assertions, which the race
+// runtime's instrumentation would spoil.
+const raceEnabled = false

@@ -131,6 +131,31 @@ func (e *Engine) TwoHop(a, r1, r2, b cluster.HostID) (Path, bool) {
 	}, true
 }
 
+// OneHopBatch fills out[i] with the relayed path a -> relays[i] -> b,
+// resolving the shared legs with two vectorized ground-truth visits
+// (a→relays and b→relays — the model is symmetric) instead of two
+// scalar cache visits per relay. out[i].Kind is zero where either leg
+// is disconnected, the same condition under which OneHop reports
+// ok == false. out must be at least len(relays) long.
+func (e *Engine) OneHopBatch(a cluster.HostID, relays []cluster.HostID, b cluster.HostID, out []Path) {
+	legs := make([]netmodel.PairStat, 2*len(relays))
+	aLegs, bLegs := legs[:len(relays)], legs[len(relays):]
+	e.m.HostStatsBatch(a, relays, aLegs)
+	e.m.HostStatsBatch(b, relays, bLegs)
+	for i, r := range relays {
+		if !aLegs[i].OK || !bLegs[i].OK {
+			out[i] = Path{}
+			continue
+		}
+		out[i] = Path{
+			Kind:   KindOneHop,
+			Relays: []cluster.HostID{r},
+			RTT:    aLegs[i].RTT + bLegs[i].RTT + RelayRTT,
+			Loss:   combineLoss(aLegs[i].Loss, bLegs[i].Loss),
+		}
+	}
+}
+
 func combineLoss(a, b float64) float64 {
 	return 1 - (1-a)*(1-b)
 }

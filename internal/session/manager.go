@@ -360,9 +360,15 @@ func (m *Manager) probeTick() {
 	}
 	m.mu.Unlock()
 
-	switch len(plans) {
-	case 0:
-	case 1:
+	bd, batched := m.drv.(BatchDriver)
+	switch {
+	case len(plans) == 0:
+	case batched:
+		// The driver coalesces the whole tick's probes per destination
+		// (one MsgProbeBatch round trip each — see batch.go), so no
+		// per-plan fan-out is needed here.
+		m.runPlansBatched(bd, plans)
+	case len(plans) == 1:
 		m.runPlan(plans[0])
 	default:
 		// Fan out via the scheduler: genuinely concurrent on the wall

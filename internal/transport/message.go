@@ -100,6 +100,19 @@ const (
 	// SSRC, same sockets, receive stats continuous).
 	MsgMediaReestablish
 	MsgMediaReestablishReply
+
+	// MsgProbeBatch: caller -> relay (or callee). One coalesced
+	// measurement round trip for every path that shares this wire
+	// destination: ProbeDsts lists the far legs to measure, where an
+	// empty Addr means "no far leg — measure the path to you". The
+	// receiver pings all destinations concurrently and answers with
+	// MsgProbeBatchReply carrying ProbeRTTs aligned to ProbeDsts (-1 for
+	// an unreachable destination). Because the legs run concurrently,
+	// the caller recovers its own leg as elapsed - max(ProbeRTTs) and
+	// fans the reply back out into one RTT sample per path — N paths,
+	// one round trip (DESIGN.md §15).
+	MsgProbeBatch
+	MsgProbeBatchReply
 )
 
 // CloseEntry is one close-cluster-set entry on the wire.
@@ -120,9 +133,9 @@ type NodalInfo struct {
 	CPUScore      float64
 }
 
-// Message is the single wire envelope. Fields are a tagged union keyed by
-// Type; gob encodes nil/zero fields compactly, and one struct keeps the
-// protocol simple to evolve and debug.
+// Message is the single wire envelope. Fields are a tagged union keyed
+// by Type; the binary codec (codec.go) skips zero fields entirely, and
+// one struct keeps the protocol simple to evolve and debug.
 type Message struct {
 	Type MsgType
 	From Addr
@@ -198,4 +211,11 @@ type Message struct {
 	// (MsgMediaReestablish): the callee acts once per epoch and re-answers
 	// duplicates, making the handshake idempotent under control retries.
 	MediaEpoch uint32
+	// ProbeDsts lists the far-leg destinations of a MsgProbeBatch; an
+	// empty Addr measures the path to the receiver itself.
+	ProbeDsts []Addr
+	// ProbeRTTs answers a MsgProbeBatch (MsgProbeBatchReply), aligned
+	// index-for-index with the request's ProbeDsts; -1 marks a
+	// destination that did not answer.
+	ProbeRTTs []time.Duration
 }

@@ -1,0 +1,7 @@
+//go:build race
+
+package transport
+
+// raceEnabled gates the allocation-regression tests: the race detector
+// instruments allocations, so AllocsPerRun counts are meaningless there.
+const raceEnabled = true

@@ -1,18 +1,16 @@
 // Package transport provides the message layer the runnable ASAP daemon
 // speaks: a request/response Transport interface with two
 // implementations — an in-memory transport for simulation and tests, and
-// a TCP transport (stdlib net, gob-framed) for real deployments — plus
-// the ASAP wire-message schema.
+// a TCP transport (stdlib net, length-prefixed binary frames — see
+// codec.go) for real deployments — plus the ASAP wire-message schema.
 //
 // The protocol actors in internal/core/actors.go are written against the
 // Transport interface only, so the same code runs simulated and live.
 package transport
 
 import (
-	"bytes"
 	"context"
 	"encoding/binary"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
@@ -254,7 +252,7 @@ func (m *Mem) Close() error {
 
 // --- TCP transport ---
 
-// TCP is a length-prefixed gob transport over real sockets. Each Call
+// TCP is a length-prefixed binary-codec transport over real sockets. Each Call
 // opens a fresh connection: simple, correct, and adequate for control
 // traffic (voice forwarding batches packets per message).
 type TCP struct {
@@ -325,6 +323,13 @@ func (t *TCP) Serve(addr Addr, h Handler) (Addr, error) {
 					resp = &Message{Type: MsgError, Error: err.Error()}
 				}
 				_ = writeFrame(conn, resp)
+				// The request envelope came from the pool (readFrame) and
+				// handlers never retain it; the response is recycled too
+				// unless the handler echoed the request back.
+				if resp != req {
+					ReleaseMessage(resp)
+				}
+				ReleaseMessage(req)
 			})
 		}
 	})
@@ -344,7 +349,12 @@ func (t *TCP) Call(to Addr, req *Message) (*Message, error) {
 	}
 	// Frame-level failures (peer died mid-exchange, deadline hit) count as
 	// unreachable: the control-plane retry layer treats them as transient.
+	// An oversize frame is the one exception — re-sending the same message
+	// can never fit, so it surfaces as-is and the retry layer gives up.
 	if err := writeFrame(conn, req); err != nil {
+		if errors.Is(err, ErrFrameTooLarge) {
+			return nil, err
+		}
 		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, to, err)
 	}
 	resp, err := readFrame(conn)
@@ -352,7 +362,9 @@ func (t *TCP) Call(to Addr, req *Message) (*Message, error) {
 		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, to, err)
 	}
 	if resp.Type == MsgError {
-		return nil, fmt.Errorf("transport: remote error: %s", resp.Error)
+		err = fmt.Errorf("transport: remote error: %s", resp.Error)
+		ReleaseMessage(resp)
+		return nil, err
 	}
 	return resp, nil
 }
@@ -372,22 +384,38 @@ func (t *TCP) Close() error {
 
 const maxFrame = 16 << 20
 
+// ErrFrameTooLarge is returned by the write side when a message encodes
+// past maxFrame. Unlike wire failures it is not transient: a retry
+// re-encodes the same oversize message, so the retry layer must not
+// back off on it (it is deliberately not wrapped in ErrUnreachable).
+var ErrFrameTooLarge = errors.New("transport: frame too large")
+
+// writeFrame encodes m with the binary codec (codec.go) into a pooled
+// buffer — header and body leave in one Write — and enforces maxFrame
+// before any bytes touch the wire.
 func writeFrame(w io.Writer, m *Message) error {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
-		return fmt.Errorf("transport: encode: %w", err)
+	bp := acquireBuf()
+	b := append((*bp)[:0], 0, 0, 0, 0) // reserve the length header
+	b = AppendMessage(b, m)
+	n := len(b) - 4
+	if n > maxFrame {
+		*bp = b
+		releaseBuf(bp)
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(buf.Len()))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("transport: write header: %w", err)
-	}
-	if _, err := w.Write(buf.Bytes()); err != nil {
-		return fmt.Errorf("transport: write body: %w", err)
+	binary.BigEndian.PutUint32(b[:4], uint32(n))
+	_, err := w.Write(b)
+	*bp = b
+	releaseBuf(bp)
+	if err != nil {
+		return fmt.Errorf("transport: write frame: %w", err)
 	}
 	return nil
 }
 
+// readFrame reads one length-prefixed frame into a pooled buffer and
+// decodes it into a pooled Message. The caller owns the returned
+// Message and should ReleaseMessage it when done.
 func readFrame(r io.Reader) (*Message, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -395,17 +423,28 @@ func readFrame(r io.Reader) (*Message, error) {
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > maxFrame {
-		return nil, fmt.Errorf("transport: frame too large: %d", n)
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
+	bp := acquireBuf()
+	b := *bp
+	if uint32(cap(b)) < n {
+		b = make([]byte, n)
+	}
+	b = b[:n]
+	if _, err := io.ReadFull(r, b); err != nil {
+		*bp = b
+		releaseBuf(bp)
 		return nil, fmt.Errorf("transport: read body: %w", err)
 	}
-	var m Message
-	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&m); err != nil {
-		return nil, fmt.Errorf("transport: decode: %w", err)
+	m := AcquireMessage()
+	err := DecodeMessage(b, m)
+	*bp = b
+	releaseBuf(bp)
+	if err != nil {
+		ReleaseMessage(m)
+		return nil, err
 	}
-	return &m, nil
+	return m, nil
 }
 
 // Interface compliance checks.

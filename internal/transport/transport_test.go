@@ -1,6 +1,8 @@
 package transport
 
 import (
+	"bytes"
+	"encoding/binary"
 	"errors"
 	"net"
 	"strings"
@@ -356,10 +358,23 @@ func TestFrameSizeLimit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// A message just over the frame cap must be rejected cleanly on the
-	// read side rather than OOM-ing.
+	// A message that encodes past the frame cap must be rejected on the
+	// write side — before any bytes hit the wire — with a non-transient
+	// error, so the retry layer gives up instead of re-sending a frame
+	// that can never fit.
 	big := &Message{Type: MsgVoice, Frames: make([]byte, maxFrame+1)}
-	if _, err := tcp.Call(addr, big); err == nil {
-		t.Skip("frame fit after encoding; cap untested at this size")
+	_, err = tcp.Call(addr, big)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("Call with oversize frame: err = %v, want ErrFrameTooLarge", err)
+	}
+	if IsTransient(err) {
+		t.Fatalf("ErrFrameTooLarge must not be transient: %v", err)
+	}
+	// The read side enforces the same cap independently: a handcrafted
+	// header advertising an oversize body is rejected before allocation.
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[:4], maxFrame+1)
+	if _, err := readFrame(bytes.NewReader(hdr[:])); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("readFrame with oversize header: err = %v, want ErrFrameTooLarge", err)
 	}
 }
