@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt staticcheck govulncheck lint allocgate bench bench-parallel bench-virtualtime bench-dataplane bench-chaos-dataplane bench-scale bench-wire race-dataplane timecheck test-experiments profile chaos check print-staticcheck-version print-govulncheck-version
+.PHONY: build test race race-all fuzz-smoke vet fmt staticcheck govulncheck lint allocgate bench bench-parallel bench-virtualtime bench-dataplane bench-chaos-dataplane bench-scale bench-wire race-dataplane timecheck test-experiments profile chaos check print-staticcheck-version print-govulncheck-version
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,20 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# race-all is the uncached full-tree race pass: every package, -count=1.
+# The chaos, dataplane and eval suites exercise real goroutine
+# interleavings, so a cached "ok" proves nothing about a scheduler or
+# locking change; CI runs this as its own job (see ci.yml).
+race-all:
+	$(GO) test -race -count=1 ./...
+
+# fuzz-smoke gives the wire-codec fuzzer a short budget on every run:
+# ten seconds of FuzzMessageCodec over the corpus plus fresh mutations.
+# Deep fuzzing is a background activity; this gate just keeps the codec
+# honest against the easy classes of malformed frame.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz 'FuzzMessageCodec' -fuzztime 10s ./internal/transport/
 
 vet:
 	$(GO) vet ./...
@@ -62,12 +76,15 @@ govulncheck:
 		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION))"; \
 	fi
 
-# lint runs asaplint, the repo's invariant gate (DESIGN.md §11): six
-# analyzers enforcing the time model (schedtime), seed reproducibility
-# (seededrand), scheduler-accounted goroutines (schedgo), deterministic
-# map iteration in output paths (maporder), the snapshot-probe-commit
-# locking discipline (lockio) and the transport pool ownership rules
-# (poolreturn). Suppress a finding with a justified
+# lint runs asaplint, the repo's invariant gate (DESIGN.md §11, §16):
+# seven per-package analyzers — time model (schedtime), seed
+# reproducibility (seededrand), scheduler-accounted goroutines
+# (schedgo), deterministic map iteration in output paths (maporder),
+# the snapshot-probe-commit locking discipline (lockio), transport pool
+# ownership (poolreturn), task/timer accounting (taskleak) — plus three
+# whole-program analyzers: protocol-enum/codec drift (protosync),
+# lock-order cycles (lockorder) and retry error classification
+# (errclass). Suppress a finding with a justified
 # `//lint:allow <analyzer> <why>` comment; see README.md.
 lint:
 	$(GO) run ./cmd/asaplint ./internal/...
@@ -169,7 +186,9 @@ chaos:
 # check is the CI gate: everything must build, be gofmt-clean, vet and
 # staticcheck clean, honor the asaplint invariants (time model, seeded
 # randomness, scheduler-accounted goroutines, deterministic map
-# iteration, lock/I/O discipline, pool ownership), pass the full test
-# suite under the race detector, hold the zero-alloc wire path, and
-# carry no known-vulnerable dependencies.
+# iteration, lock/I/O discipline, pool ownership, task/timer
+# accounting, protocol-enum sync, lock ordering, retry error
+# classification), pass the full test suite under the race detector,
+# hold the zero-alloc wire path, and carry no known-vulnerable
+# dependencies.
 check: build vet fmt staticcheck lint race allocgate govulncheck

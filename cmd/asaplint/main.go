@@ -1,7 +1,8 @@
 // Command asaplint is the repo's invariant gate: a static-analysis
 // multichecker enforcing the determinism, time-model and concurrency
 // rules that make experiment runs byte-identical for a given seed
-// (DESIGN.md §11). It runs six analyzers over internal/:
+// (DESIGN.md §11, §16). It runs seven per-package analyzers over
+// internal/:
 //
 //	schedtime  — no direct time-package scheduling or clock reads
 //	seededrand — no global math/rand, no wall-clock-seeded sources
@@ -9,6 +10,17 @@
 //	maporder   — no map iteration order leaking into output
 //	lockio     — no transport I/O while a mutex is held
 //	poolreturn — no transport pool acquire without a release on every path
+//	taskleak   — every Scheduler.Go task signals completion; every
+//	             AfterFunc timer has a Stop path
+//
+// plus three whole-program analyzers that see every listed package at
+// once, because their invariants span package boundaries:
+//
+//	protosync  — MsgType enum vs String()/dispatch/pairing, Message
+//	             fields vs codec field ids
+//	lockorder  — no cycles in the whole-program lock-acquisition graph
+//	errclass   — errors retried by RetryPolicy.Do trace to classified
+//	             transient/non-transient sources
 //
 // Usage:
 //
@@ -18,6 +30,9 @@
 // mandatory — by a comment on the flagged line or the line above:
 //
 //	//lint:allow schedtime net deadlines are absolute wall-clock instants
+//
+// Several findings on one line are suppressed by chaining directives in
+// one comment: //lint:allow schedtime <why> //lint:allow schedgo <why>.
 //
 // Exit status is 1 if any finding remains unsuppressed.
 package main
@@ -31,13 +46,17 @@ import (
 	"strings"
 
 	"asap/internal/lint/analysis"
+	"asap/internal/lint/errclass"
 	"asap/internal/lint/loader"
 	"asap/internal/lint/lockio"
+	"asap/internal/lint/lockorder"
 	"asap/internal/lint/maporder"
 	"asap/internal/lint/poolreturn"
+	"asap/internal/lint/protosync"
 	"asap/internal/lint/schedgo"
 	"asap/internal/lint/schedtime"
 	"asap/internal/lint/seededrand"
+	"asap/internal/lint/taskleak"
 )
 
 var analyzers = []*analysis.Analyzer{
@@ -47,6 +66,14 @@ var analyzers = []*analysis.Analyzer{
 	maporder.Analyzer,
 	lockio.Analyzer,
 	poolreturn.Analyzer,
+	taskleak.Analyzer,
+}
+
+// programAnalyzers run once over the whole set of listed packages.
+var programAnalyzers = []*analysis.Analyzer{
+	protosync.Analyzer,
+	lockorder.Analyzer,
+	errclass.Analyzer,
 }
 
 type finding struct {
@@ -82,13 +109,17 @@ func main() {
 	}
 	ld := loader.New(loader.Config{ModName: modName, ModDir: modDir})
 
-	var findings []finding
+	var pkgs []*loader.Package
 	for _, dir := range dirs {
 		pkg, err := ld.LoadDir(dir)
 		if err != nil {
 			fatal(err)
 		}
-		findings = append(findings, lintPackage(pkg)...)
+		pkgs = append(pkgs, pkg)
+	}
+	findings, err := lintAll(pkgs)
+	if err != nil {
+		fatal(err)
 	}
 
 	sort.Slice(findings, func(i, j int) bool {
@@ -119,68 +150,110 @@ func main() {
 	fmt.Printf("asaplint: %d package(s) clean (%s)\n", len(dirs), analyzerNames())
 }
 
-// lintPackage runs every analyzer over one package and applies
-// //lint:allow suppressions.
-func lintPackage(pkg *loader.Package) []finding {
-	allows, findings := collectAllows(pkg)
-	for _, a := range analyzers {
-		a := a
-		pass := &analysis.Pass{
-			Analyzer:  a,
-			Fset:      pkg.Fset,
-			Files:     pkg.Files,
-			Pkg:       pkg.Types,
-			TypesInfo: pkg.Info,
-			Report: func(d analysis.Diagnostic) {
-				pos := pkg.Fset.Position(d.Pos)
-				if suppressed(allows, a.Name, pos) {
-					return
-				}
-				findings = append(findings, finding{pos: pos, analyzer: a.Name, message: d.Message})
-			},
-		}
-		if _, err := a.Run(pass); err != nil {
-			fatal(fmt.Errorf("%s: %w", a.Name, err))
+// lintAll runs the per-package analyzers over each package and the
+// whole-program analyzers over the full set, applying //lint:allow
+// suppressions from every loaded file.
+func lintAll(pkgs []*loader.Package) ([]finding, error) {
+	allows := make(map[string][]*allow)
+	var findings []finding
+	for _, pkg := range pkgs {
+		fs := collectAllows(pkg, allows)
+		findings = append(findings, fs...)
+	}
+	for _, pkg := range pkgs {
+		pkg := pkg
+		for _, a := range analyzers {
+			a := a
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Report: func(d analysis.Diagnostic) {
+					pos := pkg.Fset.Position(d.Pos)
+					if suppressed(allows, a.Name, pos) {
+						return
+					}
+					findings = append(findings, finding{pos: pos, analyzer: a.Name, message: d.Message})
+				},
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %w", a.Name, err)
+			}
 		}
 	}
-	return findings
+	if len(pkgs) > 0 {
+		infos := make([]*analysis.PackageInfo, len(pkgs))
+		for i, pkg := range pkgs {
+			infos[i] = &analysis.PackageInfo{Files: pkg.Files, Pkg: pkg.Types, TypesInfo: pkg.Info}
+		}
+		fset := pkgs[0].Fset
+		for _, a := range programAnalyzers {
+			a := a
+			prog := &analysis.Program{
+				Analyzer: a,
+				Fset:     fset,
+				Packages: infos,
+				Report: func(d analysis.Diagnostic) {
+					pos := fset.Position(d.Pos)
+					if suppressed(allows, a.Name, pos) {
+						return
+					}
+					findings = append(findings, finding{pos: pos, analyzer: a.Name, message: d.Message})
+				},
+			}
+			if _, err := a.RunProgram(prog); err != nil {
+				return nil, fmt.Errorf("%s: %w", a.Name, err)
+			}
+		}
+	}
+	return findings, nil
 }
 
-// collectAllows parses every //lint:allow comment in the package. A
-// malformed allow — unknown analyzer or missing justification — is
-// itself a finding: suppressions must say which rule is being waived
-// and why.
-func collectAllows(pkg *loader.Package) (map[string][]*allow, []finding) {
-	allows := make(map[string][]*allow) // keyed by filename
+// collectAllows parses every //lint:allow comment in the package into
+// allows (keyed by filename, shared across packages). A malformed allow
+// — unknown analyzer or missing justification — is itself a finding:
+// suppressions must say which rule is being waived and why. One comment
+// may chain several directives ("//lint:allow a why //lint:allow b
+// why") to suppress findings from different analyzers on one line; each
+// directive is parsed independently.
+func collectAllows(pkg *loader.Package, allows map[string][]*allow) []finding {
 	var findings []finding
-	known := make(map[string]bool, len(analyzers))
+	known := make(map[string]bool, len(analyzers)+len(programAnalyzers))
 	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	for _, a := range programAnalyzers {
 		known[a.Name] = true
 	}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(c.Text, "//lint:allow")
-				if !ok {
+				if !strings.HasPrefix(c.Text, "//lint:allow") {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				fields := strings.Fields(rest)
-				switch {
-				case len(fields) == 0 || !known[fields[0]]:
-					findings = append(findings, finding{pos: pos, analyzer: "allow",
-						message: fmt.Sprintf("//lint:allow must name an analyzer (%s)", analyzerNames())})
-				case len(fields) < 2:
-					findings = append(findings, finding{pos: pos, analyzer: "allow",
-						message: fmt.Sprintf("//lint:allow %s needs a justification: //lint:allow %[1]s <why this exemption is sound>", fields[0])})
-				default:
-					allows[pos.Filename] = append(allows[pos.Filename],
-						&allow{analyzer: fields[0], justification: strings.Join(fields[1:], " "), pos: pos})
+				// Split a chained comment into one segment per directive;
+				// the justification of each runs to the next directive.
+				for _, rest := range strings.Split(c.Text, "//lint:allow")[1:] {
+					fields := strings.Fields(rest)
+					switch {
+					case len(fields) == 0 || !known[fields[0]]:
+						findings = append(findings, finding{pos: pos, analyzer: "allow",
+							message: fmt.Sprintf("//lint:allow must name an analyzer (%s)", analyzerNames())})
+					case len(fields) < 2:
+						findings = append(findings, finding{pos: pos, analyzer: "allow",
+							message: fmt.Sprintf("//lint:allow %s needs a justification: //lint:allow %[1]s <why this exemption is sound>", fields[0])})
+					default:
+						allows[pos.Filename] = append(allows[pos.Filename],
+							&allow{analyzer: fields[0], justification: strings.Join(fields[1:], " "), pos: pos})
+					}
 				}
 			}
 		}
 	}
-	return allows, findings
+	return findings
 }
 
 // suppressed reports whether a well-formed allow for the analyzer sits
@@ -241,9 +314,12 @@ func expand(args []string) ([]string, error) {
 }
 
 func analyzerNames() string {
-	names := make([]string, len(analyzers))
-	for i, a := range analyzers {
-		names[i] = a.Name
+	names := make([]string, 0, len(analyzers)+len(programAnalyzers))
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	for _, a := range programAnalyzers {
+		names = append(names, a.Name)
 	}
 	return strings.Join(names, ", ")
 }
@@ -253,6 +329,9 @@ func usage() {
 	fmt.Println()
 	for _, a := range analyzers {
 		fmt.Printf("  %-10s %s\n", a.Name, a.Doc)
+	}
+	for _, a := range programAnalyzers {
+		fmt.Printf("  %-10s %s (whole-program)\n", a.Name, a.Doc)
 	}
 	fmt.Println()
 	fmt.Println("Suppress one finding, with a mandatory justification, via a comment on")

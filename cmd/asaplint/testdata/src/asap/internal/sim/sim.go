@@ -1,0 +1,12 @@
+// Package sim is the fixture shadow of the scheduler interface for the
+// driver's injected-violation packages.
+package sim
+
+import "time"
+
+type Timer interface{ Stop() bool }
+
+type Scheduler interface {
+	Go(fn func())
+	AfterFunc(d time.Duration, fn func()) Timer
+}

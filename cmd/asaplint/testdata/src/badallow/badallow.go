@@ -11,3 +11,8 @@ func napping() {
 	//lint:allow nosuchanalyzer because reasons
 	time.Sleep(time.Second)
 }
+
+func dozing() {
+	//lint:allow schedtime //lint:allow maporder chained fixture: the directive before this one has only whitespace for a justification
+	time.Sleep(time.Second)
+}

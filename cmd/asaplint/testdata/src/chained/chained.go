@@ -1,0 +1,10 @@
+// Package chained suppresses two analyzers' findings on one line with
+// one chained comment.
+package chained
+
+import "time"
+
+func sleepy() {
+	//lint:allow schedgo wall-mode fixture needs a raw goroutine //lint:allow schedtime the sleep is the payload under test
+	go time.Sleep(time.Second)
+}

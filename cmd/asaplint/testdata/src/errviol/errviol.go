@@ -1,0 +1,29 @@
+// Package errviol retries an error nothing classified: the injected
+// errclass violation.
+package errviol
+
+import "errors"
+
+type RetryPolicy struct{ Attempts int }
+
+func (p RetryPolicy) Do(op func() error) error {
+	var err error
+	for i := 0; i < p.Attempts; i++ {
+		if err = op(); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// helper is opaque: not transport-layer, not marked //lint:errclass.
+func helper() error {
+	return errors.New("errviol: opaque failure")
+}
+
+func run() error {
+	p := RetryPolicy{Attempts: 3}
+	return p.Do(func() error {
+		return helper()
+	})
+}

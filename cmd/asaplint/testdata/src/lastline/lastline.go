@@ -1,0 +1,6 @@
+// Package lastline suppresses a finding on the file's final line.
+package lastline
+
+import "time"
+
+func sleepy() { time.Sleep(time.Second) } //lint:allow schedtime fixture: suppression on the final line of the file

@@ -1,0 +1,32 @@
+// Package lockviol nests the same two locks in opposite orders: the
+// injected lockorder violation.
+package lockviol
+
+import "sync"
+
+type registry struct {
+	mu sync.Mutex
+}
+
+type conn struct {
+	mu sync.Mutex
+}
+
+var (
+	reg registry
+	cn  conn
+)
+
+func register() {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	cn.mu.Lock()
+	cn.mu.Unlock()
+}
+
+func teardown() {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	reg.mu.Lock()
+	reg.mu.Unlock()
+}

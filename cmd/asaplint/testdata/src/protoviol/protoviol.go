@@ -1,0 +1,50 @@
+// Package protoviol declares a protocol constant no handler dispatches:
+// the injected protosync violation.
+package protoviol
+
+type MsgType int8
+
+const (
+	MsgPing MsgType = iota + 1
+	MsgPong
+	MsgNew
+	MsgNewReply
+
+	msgTypeLimit
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case MsgPing:
+		return "MsgPing"
+	case MsgPong:
+		return "MsgPong"
+	case MsgNew:
+		return "MsgNew"
+	case MsgNewReply:
+		return "MsgNewReply"
+	}
+	return "MsgType(?)"
+}
+
+func valid(t MsgType) bool {
+	return t > 0 && t < msgTypeLimit
+}
+
+// handle dispatches MsgPing but forgets MsgNew.
+func handle(t MsgType) MsgType {
+	if !valid(t) {
+		return 0
+	}
+	switch t {
+	case MsgPing:
+		return MsgPong
+	}
+	return 0
+}
+
+// send constructs every request, so the only drift is the missing
+// dispatch.
+func send() []MsgType {
+	return []MsgType{MsgPing, MsgNew, MsgNewReply}
+}

@@ -1,0 +1,18 @@
+// Package taskviol spawns a task no Join can observe: the injected
+// taskleak violation.
+package taskviol
+
+import "asap/internal/sim"
+
+type worker struct {
+	sched sim.Scheduler
+	n     int
+}
+
+func (w *worker) start() {
+	w.sched.Go(func() {
+		for i := 0; i < 100; i++ {
+			w.n++
+		}
+	})
+}

@@ -17,6 +17,8 @@ import (
 // Ping measures the RTT to another node over the transport. Timestamps
 // come from the node's scheduler, so the measurement is virtual-time
 // exact in simulation.
+//
+//lint:errclass transport.Call errors pass through unwrapped (IsTransient sees them); the only local error is a fresh fmt.Errorf for a mis-typed reply, terminal by construction
 func (n *Node) Ping(to transport.Addr) (time.Duration, error) {
 	start := n.sched.Now()
 	req := transport.AcquireMessage()
@@ -28,8 +30,9 @@ func (n *Node) Ping(to transport.Addr) (time.Duration, error) {
 	if err != nil {
 		return 0, err
 	}
-	if resp.Type != transport.MsgPong {
-		return 0, fmt.Errorf("core: unexpected ping reply type %d", resp.Type)
+	if got := resp.Type; got != transport.MsgPong {
+		transport.ReleaseMessage(resp)
+		return 0, fmt.Errorf("core: unexpected ping reply type %v", got)
 	}
 	transport.ReleaseMessage(resp)
 	return n.sched.Now() - start, nil

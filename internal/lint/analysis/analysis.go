@@ -16,7 +16,12 @@ import (
 	"go/types"
 )
 
-// Analyzer describes one named invariant check.
+// Analyzer describes one named invariant check. Exactly one of Run and
+// RunProgram must be set: Run analyzers see one package at a time (the
+// upstream x/tools shape), RunProgram analyzers see every package of the
+// asaplint invocation at once — the shape needed by whole-program
+// conformance checks (protocol-enum drift, lock-order cycles) whose
+// invariants span package boundaries.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and in
 	// //lint:allow suppression comments.
@@ -28,6 +33,8 @@ type Analyzer struct {
 	// through pass.Report. The returned value is unused by the driver
 	// but kept for upstream signature compatibility.
 	Run func(*Pass) (interface{}, error)
+	// RunProgram applies the analyzer once to the whole loaded program.
+	RunProgram func(*Program) (interface{}, error)
 }
 
 // Diagnostic is one finding at a source position.
@@ -54,5 +61,33 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 
 // Filename returns the file name containing pos.
 func (p *Pass) Filename(pos token.Pos) string {
+	return p.Fset.Position(pos).Filename
+}
+
+// PackageInfo is one type-checked package inside a Program.
+type PackageInfo struct {
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// Program holds every package of one asaplint invocation, for
+// whole-program analyzers. Packages are ordered deterministically (by
+// import path) by the driver, so analyzers that iterate them produce
+// stable diagnostics.
+type Program struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Packages []*PackageInfo
+	Report   func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Program) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Filename returns the file name containing pos.
+func (p *Program) Filename(pos token.Pos) string {
 	return p.Fset.Position(pos).Filename
 }

@@ -14,6 +14,7 @@ package analysistest
 
 import (
 	"fmt"
+	"go/token"
 	"path/filepath"
 	"regexp"
 	"sort"
@@ -53,6 +54,43 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 	}
 }
 
+// RunProgram loads every listed fixture package and applies a
+// whole-program analyzer (RunProgram) once across the set, checking the
+// combined diagnostics against the want comments in all of them.
+func RunProgram(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	src := filepath.Join(testdata, "src")
+	modName, modDir, err := loader.FindModule(".")
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	ld := loader.New(loader.Config{
+		ModName:      modName,
+		ModDir:       modDir,
+		SrcDirs:      []string{src},
+		IncludeTests: true,
+	})
+	want := make(map[string][]*expectation)
+	prog := &analysis.Program{Analyzer: a, Fset: ld.Fset}
+	for _, pkgPath := range pkgs {
+		dir := filepath.Join(src, filepath.FromSlash(pkgPath))
+		pkg, err := ld.LoadDir(dir)
+		if err != nil {
+			t.Fatalf("analysistest: load %s: %v", dir, err)
+		}
+		collectWants(t, pkg, want)
+		prog.Packages = append(prog.Packages, &analysis.PackageInfo{
+			Files: pkg.Files, Pkg: pkg.Types, TypesInfo: pkg.Info,
+		})
+	}
+	var diags []analysis.Diagnostic
+	prog.Report = func(d analysis.Diagnostic) { diags = append(diags, d) }
+	if _, err := a.RunProgram(prog); err != nil {
+		t.Fatalf("analysistest: %s: %v", a.Name, err)
+	}
+	matchDiags(t, ld.Fset, diags, want)
+}
+
 func runPkg(t *testing.T, ld *loader.Loader, dir string, a *analysis.Analyzer) {
 	t.Helper()
 	pkg, err := ld.LoadDir(dir)
@@ -60,8 +98,28 @@ func runPkg(t *testing.T, ld *loader.Loader, dir string, a *analysis.Analyzer) {
 		t.Fatalf("analysistest: load %s: %v", dir, err)
 	}
 
-	// Collect expectations keyed by file:line.
 	want := make(map[string][]*expectation)
+	collectWants(t, pkg, want)
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("analysistest: %s: %v", a.Name, err)
+	}
+	matchDiags(t, pkg.Fset, diags, want)
+}
+
+// collectWants gathers the `// want "pat"` expectations of one package,
+// keyed by file:line.
+func collectWants(t *testing.T, pkg *loader.Package, want map[string][]*expectation) {
+	t.Helper()
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -81,22 +139,13 @@ func runPkg(t *testing.T, ld *loader.Loader, dir string, a *analysis.Analyzer) {
 			}
 		}
 	}
+}
 
-	var diags []analysis.Diagnostic
-	pass := &analysis.Pass{
-		Analyzer:  a,
-		Fset:      pkg.Fset,
-		Files:     pkg.Files,
-		Pkg:       pkg.Types,
-		TypesInfo: pkg.Info,
-		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
-	}
-	if _, err := a.Run(pass); err != nil {
-		t.Fatalf("analysistest: %s: %v", a.Name, err)
-	}
-
+// matchDiags pairs diagnostics with expectations and reports mismatches.
+func matchDiags(t *testing.T, fset *token.FileSet, diags []analysis.Diagnostic, want map[string][]*expectation) {
+	t.Helper()
 	for _, d := range diags {
-		pos := pkg.Fset.Position(d.Pos)
+		pos := fset.Position(d.Pos)
 		key := posKey(pos.Filename, pos.Line)
 		if !claim(want[key], d.Message) {
 			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)

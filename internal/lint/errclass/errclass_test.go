@@ -1,0 +1,11 @@
+package errclass
+
+import (
+	"testing"
+
+	"asap/internal/lint/analysistest"
+)
+
+func TestErrclass(t *testing.T) {
+	analysistest.RunProgram(t, "testdata", Analyzer, "asap/internal/transport", "a")
+}

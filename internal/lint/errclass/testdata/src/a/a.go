@@ -1,0 +1,141 @@
+// Package a exercises the errclass rules: every error returned into
+// RetryPolicy.Do must trace to a classified source.
+package a
+
+import (
+	"errors"
+	"fmt"
+
+	"asap/internal/transport"
+)
+
+// RetryPolicy is the fixture policy; the analyzer matches the receiver
+// type name.
+type RetryPolicy struct{ Attempts int }
+
+func (p RetryPolicy) Do(op func() error) error {
+	var err error
+	for i := 0; i < p.Attempts; i++ {
+		if err = op(); err == nil || !transport.IsTransient(err) {
+			return err
+		}
+	}
+	return err
+}
+
+var retry = RetryPolicy{Attempts: 3}
+
+// GoodTransportCall returns the transport layer's own errors.
+func GoodTransportCall(addr string) error {
+	return retry.Do(func() error {
+		return transport.Call(addr)
+	})
+}
+
+// GoodTraced traces err through its assignment to a transport call.
+func GoodTraced(addr string) error {
+	return retry.Do(func() error {
+		err := transport.Call(addr)
+		if err != nil {
+			return err
+		}
+		return nil
+	})
+}
+
+// GoodFresh constructs deliberately non-transient errors.
+func GoodFresh() error {
+	return retry.Do(func() error {
+		if false {
+			return errors.New("a: gave up")
+		}
+		return fmt.Errorf("a: bad state %d", 7)
+	})
+}
+
+// GoodWrapped re-raises a transport error through %w.
+func GoodWrapped(addr string) error {
+	return retry.Do(func() error {
+		if err := transport.Call(addr); err != nil {
+			return fmt.Errorf("a: call %s: %w", addr, err)
+		}
+		return nil
+	})
+}
+
+// GoodSentinel returns a classified package-level error directly.
+func GoodSentinel() error {
+	return retry.Do(func() error {
+		return transport.ErrUnreachable
+	})
+}
+
+// probe's errors are all terminal by construction.
+//
+//lint:errclass every error is errors.New, terminal by construction
+func probe(n int) error {
+	if n < 0 {
+		return errors.New("a: negative")
+	}
+	return nil
+}
+
+// GoodMarked returns errors from a //lint:errclass-marked function.
+func GoodMarked(n int) error {
+	return retry.Do(func() error {
+		return probe(n)
+	})
+}
+
+// opDecl is a named op whose returns are audited like a literal's.
+func opDecl() error {
+	return transport.Call("x")
+}
+
+// GoodNamedOp passes a resolvable declaration instead of a literal.
+func GoodNamedOp() error {
+	return retry.Do(opDecl)
+}
+
+// mystery is an unclassified helper: no marker, not transport.
+func mystery() error {
+	return errors.New("a: who knows")
+}
+
+// BadHelperCall returns an error from an unmarked non-transport helper.
+func BadHelperCall() error {
+	return retry.Do(func() error {
+		return mystery() // want "error returned into RetryPolicy.Do is unclassified: mystery is neither a transport-layer call nor marked //lint:errclass"
+	})
+}
+
+// BadTracedHelper reaches the same helper through a variable.
+func BadTracedHelper() error {
+	return retry.Do(func() error {
+		err := mystery() // the assignment the trace finds
+		if err != nil {
+			return err // want "error returned into RetryPolicy.Do is unclassified: mystery is neither a transport-layer call nor marked //lint:errclass"
+		}
+		return nil
+	})
+}
+
+// BadCaptured returns an error captured from the enclosing scope: the
+// op body never assigns it, so it cannot be audited.
+func BadCaptured(outer error) error {
+	return retry.Do(func() error {
+		return outer // want "error returned into RetryPolicy.Do is unclassified: outer is never assigned in the op body"
+	})
+}
+
+// BadOpaqueOp passes a function value no audit can open.
+func BadOpaqueOp(op func() error) error {
+	return retry.Do(op) // want "op passed to RetryPolicy.Do is not a traceable function"
+}
+
+// bare carries the marker with no justification.
+//
+//lint:errclass
+func bare() error { // want "//lint:errclass marker on bare needs a justification"
+	return nil
+}

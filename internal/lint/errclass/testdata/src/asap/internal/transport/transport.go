@@ -1,0 +1,21 @@
+// Package transport is the fixture shadow of the transport layer: the
+// package whose errors IsTransient is written against.
+package transport
+
+import "errors"
+
+// ErrUnreachable is the fixture transient error.
+var ErrUnreachable = errors.New("transport: unreachable")
+
+// Call is the fixture transport call.
+func Call(addr string) error {
+	if addr == "" {
+		return ErrUnreachable
+	}
+	return nil
+}
+
+// IsTransient is the fixture classifier.
+func IsTransient(err error) bool {
+	return errors.Is(err, ErrUnreachable)
+}

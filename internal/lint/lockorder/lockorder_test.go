@@ -1,0 +1,19 @@
+package lockorder
+
+import (
+	"testing"
+
+	"asap/internal/lint/analysistest"
+)
+
+func TestDeadlockPair(t *testing.T) {
+	analysistest.RunProgram(t, "testdata", Analyzer, "deadlock")
+}
+
+func TestClean(t *testing.T) {
+	analysistest.RunProgram(t, "testdata", Analyzer, "clean")
+}
+
+func TestInterprocedural(t *testing.T) {
+	analysistest.RunProgram(t, "testdata", Analyzer, "interproc")
+}

@@ -1,0 +1,34 @@
+// Package deadlock nests two locks in opposite orders across two
+// functions: the classic AB/BA deadlock.
+package deadlock
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex
+}
+
+type B struct {
+	mu sync.RWMutex
+}
+
+var (
+	a A
+	b B
+)
+
+// Forward locks A then B.
+func Forward() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.RLock() // want "potential deadlock: lock-order cycle deadlock.A.mu -> deadlock.B.mu -> deadlock.A.mu"
+	defer b.mu.RUnlock()
+}
+
+// Backward locks B then A: the reversed pair.
+func Backward() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock()
+	a.mu.Unlock()
+}

@@ -1,0 +1,60 @@
+// Package interproc hides the reversed nesting behind a call: one path
+// locks Reg then (via a helper) Conn, the other locks Conn then (via a
+// helper two levels deep) Reg. Only the transitive closure sees it.
+package interproc
+
+import "sync"
+
+type Reg struct {
+	mu sync.Mutex
+}
+
+type Conn struct {
+	mu sync.Mutex
+}
+
+var (
+	reg  Reg
+	conn Conn
+)
+
+// Register holds reg.mu across a call that acquires conn.mu.
+func Register() {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	closeConn()
+}
+
+func closeConn() {
+	conn.mu.Lock()
+	defer conn.mu.Unlock()
+}
+
+// Teardown holds conn.mu across a two-level call chain that reaches
+// reg.mu.
+func Teardown() {
+	conn.mu.Lock()
+	defer conn.mu.Unlock()
+	detach() // want "potential deadlock: lock-order cycle interproc.Conn.mu -> interproc.Reg.mu -> interproc.Conn.mu"
+}
+
+func detach() {
+	dropReg()
+}
+
+func dropReg() {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+}
+
+// Spawned closures do not extend the critical section: the literal
+// handed off here runs later, so no edge conn.mu -> reg.mu would come
+// from it alone.
+func Handoff(spawn func(func())) {
+	conn.mu.Lock()
+	spawn(func() {
+		reg.mu.Lock()
+		reg.mu.Unlock()
+	})
+	conn.mu.Unlock()
+}

@@ -1,0 +1,15 @@
+package protosync
+
+import (
+	"testing"
+
+	"asap/internal/lint/analysistest"
+)
+
+func TestProtosync(t *testing.T) {
+	analysistest.RunProgram(t, "testdata", Analyzer, "asap/internal/transport", "a")
+}
+
+func TestProtosyncMissingStringAndSentinel(t *testing.T) {
+	analysistest.RunProgram(t, "testdata", Analyzer, "nostring")
+}

@@ -1,0 +1,33 @@
+// Package a is the fixture consumer: its dispatch switch and message
+// construction give the clean constants their handled/constructed
+// credit, while MsgLost stays untouched outside the test file.
+package a
+
+import "asap/internal/transport"
+
+func handle(m *transport.Message) *transport.Message {
+	switch m.Type {
+	case transport.MsgPing:
+		return &transport.Message{Type: transport.MsgPong}
+	case transport.MsgJoin:
+		return &transport.Message{Type: transport.MsgJoinReply}
+	case transport.MsgQuiet, transport.MsgLate:
+		return &transport.Message{Type: transport.MsgQuietReply}
+	}
+	if m.Type == transport.MsgError {
+		return nil
+	}
+	return nil
+}
+
+func send() []*transport.Message {
+	return []*transport.Message{
+		{Type: transport.MsgError},
+		{Type: transport.MsgPing},
+		{Type: transport.MsgJoin},
+		{Type: transport.MsgOrphanReply},
+		{Type: transport.MsgQuiet},
+		{Type: transport.MsgLate},
+		{Type: transport.MsgLateReply},
+	}
+}

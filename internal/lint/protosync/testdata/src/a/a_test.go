@@ -1,0 +1,14 @@
+package a
+
+import "asap/internal/transport"
+
+// Test files earn no handled/constructed credit: a type only a test
+// exercises is dead protocol, so MsgLost below must still be reported.
+func testOnlyUse(m *transport.Message) bool {
+	switch m.Type {
+	case transport.MsgLost:
+		return true
+	}
+	m.Type = transport.MsgLost
+	return false
+}

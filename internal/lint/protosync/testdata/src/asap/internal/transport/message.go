@@ -1,0 +1,97 @@
+package transport
+
+// MsgType is the fixture protocol enum.
+type MsgType int8
+
+const (
+	MsgError MsgType = iota + 1
+	MsgPing
+	MsgPong
+	MsgJoin
+	MsgJoinReply
+	MsgLost        // want "request MsgLost has no reply type \\(MsgLostReply or MsgLostAck\\)" "MsgLost is declared but no non-test handler dispatches it" "MsgLost is declared but never constructed outside tests"
+	MsgOrphanReply // want "reply MsgOrphanReply names no declared request MsgOrphan"
+	MsgQuiet       // want "MsgQuiet is missing from MsgType.String\\(\\)"
+	MsgQuietReply
+
+	msgTypeLimit
+
+	MsgLate      // want "MsgLate is declared after the msgTypeLimit sentinel"
+	MsgLateReply // want "MsgLateReply is declared after the msgTypeLimit sentinel"
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case MsgError:
+		return "MsgError"
+	case MsgPing:
+		return "MsgPing"
+	case MsgPong:
+		return "MsgPong"
+	case MsgJoin:
+		return "MsgJoin"
+	case MsgJoinReply:
+		return "MsgJoinReply"
+	case MsgLost:
+		return "MsgLost"
+	case MsgOrphanReply:
+		return "MsgOrphanReply"
+	case MsgQuietReply:
+		return "MsgQuietReply"
+	case MsgLate:
+		return "MsgLate"
+	case MsgLateReply:
+		return "MsgLateReply"
+	}
+	return "MsgType(?)"
+}
+
+// Message is the fixture wire envelope.
+type Message struct {
+	Type    MsgType
+	From    string
+	Skipped string
+	Unread  string
+	Ghost   string // want "Message field Ghost has no fldGhost codec id"
+}
+
+const (
+	fldFrom    = iota + 1
+	fldSkipped // want "fldSkipped is never written by AppendMessage"
+	fldUnread  // want "fldUnread is never read by DecodeMessage"
+	fldOrphan  // want "codec id fldOrphan matches no Message field"
+	fldLimit
+)
+
+// AppendMessage is the fixture encoder: it touches fldFrom and
+// fldUnread but forgets fldSkipped.
+func AppendMessage(dst []byte, m *Message) []byte {
+	if m.From != "" {
+		dst = append(dst, fldFrom)
+		dst = append(dst, m.From...)
+	}
+	if m.Unread != "" {
+		dst = append(dst, fldUnread)
+		dst = append(dst, m.Unread...)
+	}
+	return dst
+}
+
+// DecodeMessage is the fixture decoder: it validates the type against
+// the sentinel and reads fldFrom and fldSkipped but forgets fldUnread.
+func DecodeMessage(data []byte, m *Message) bool {
+	if len(data) < 2 || MsgType(data[1]) >= msgTypeLimit {
+		return false
+	}
+	for _, b := range data[2:] {
+		switch b {
+		case fldFrom:
+			m.From = "x"
+		case fldSkipped:
+			m.Skipped = "x"
+		case fldOrphan:
+			// referenced so only the no-field diagnostic fires
+		}
+	}
+	return true
+}

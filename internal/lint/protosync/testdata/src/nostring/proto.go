@@ -1,0 +1,10 @@
+// Package nostring declares a protocol enum with no String method and
+// no msgTypeLimit sentinel: both absences are drift.
+package nostring
+
+// MsgType lacks both String() and the sentinel.
+type MsgType int8 // want "MsgType has no String\\(\\) method" "MsgType enum has no msgTypeLimit sentinel"
+
+const (
+	MsgSolo MsgType = iota + 1 // want "request MsgSolo has no reply type" "MsgSolo is declared but no non-test handler dispatches it" "MsgSolo is declared but never constructed outside tests"
+)

@@ -1,0 +1,11 @@
+package taskleak
+
+import (
+	"testing"
+
+	"asap/internal/lint/analysistest"
+)
+
+func TestTaskleak(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "a")
+}

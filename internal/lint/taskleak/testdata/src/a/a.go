@@ -1,0 +1,166 @@
+// Package a exercises the taskleak rules: completion signals for
+// Scheduler.Go tasks, cancellation paths for AfterFunc timers.
+package a
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"asap/internal/sim"
+)
+
+type node struct {
+	sched   sim.Scheduler
+	wg      sync.WaitGroup
+	kaTimer sim.Timer
+	lost    sim.Timer
+}
+
+func (n *node) bgDone() {}
+
+// --- Scheduler.Go: completion signals ---
+
+// GoodWaitGroup signals through wg.Done.
+func (n *node) GoodWaitGroup() {
+	n.wg.Add(1)
+	n.sched.Go(func() {
+		defer n.wg.Done()
+	})
+}
+
+// GoodWaiter signals through Waiter.Wake.
+func (n *node) GoodWaiter() {
+	w := n.sched.NewWaiter()
+	n.sched.Go(func() {
+		w.Wake()
+	})
+	w.Wait(time.Second)
+}
+
+// GoodClose signals by closing a channel.
+func (n *node) GoodClose() chan struct{} {
+	done := make(chan struct{})
+	n.sched.Go(func() {
+		close(done)
+	})
+	return done
+}
+
+// GoodSend signals by sending on a channel.
+func (n *node) GoodSend() chan int {
+	out := make(chan int, 1)
+	n.sched.Go(func() {
+		out <- 1
+	})
+	return out
+}
+
+// GoodBgDone signals through the Node bg-counter idiom: any Done-suffixed
+// method counts.
+func (n *node) GoodBgDone() {
+	n.sched.Go(func() {
+		defer n.bgDone()
+	})
+}
+
+// GoodNestedSignal finds the signal inside a deferred literal.
+func (n *node) GoodNestedSignal() {
+	n.wg.Add(1)
+	n.sched.Go(func() {
+		defer func() {
+			n.wg.Done()
+		}()
+	})
+}
+
+// BadFireAndForget has no completion signal at all.
+func (n *node) BadFireAndForget() {
+	n.sched.Go(func() { // want "task spawned by Scheduler.Go never signals completion"
+		for i := 0; i < 10; i++ {
+		}
+	})
+}
+
+// BadCtxDoneOnly observes cancellation but never announces completion:
+// context.Done is not a completion signal.
+func (n *node) BadCtxDoneOnly(ctx context.Context) {
+	n.sched.Go(func() { // want "task spawned by Scheduler.Go never signals completion"
+		<-ctx.Done()
+	})
+}
+
+// --- Scheduler.AfterFunc: cancellation paths ---
+
+// BadDiscarded throws the Timer away.
+func (n *node) BadDiscarded() {
+	n.sched.AfterFunc(time.Second, func() {}) // want "result of Scheduler.AfterFunc discarded"
+}
+
+// BadBlank assigns the Timer to the blank identifier.
+func (n *node) BadBlank() {
+	_ = n.sched.AfterFunc(time.Second, func() {}) // want "result of Scheduler.AfterFunc discarded"
+}
+
+// GoodFieldDirectStop arms kaTimer; StopDirect cancels it by field.
+func (n *node) GoodFieldDirectStop() {
+	n.kaTimer = n.sched.AfterFunc(time.Second, func() {})
+}
+
+func (n *node) StopDirect() {
+	if n.kaTimer != nil {
+		n.kaTimer.Stop()
+		n.kaTimer = nil
+	}
+}
+
+// aliased covers the swap-under-lock idiom on a second field.
+type aliased struct {
+	sched sim.Scheduler
+	estW  sim.Timer
+}
+
+// GoodFieldAliasStop arms estW; CloseAliased reads it into a local and
+// stops the local.
+func (al *aliased) GoodFieldAliasStop() {
+	al.estW = al.sched.AfterFunc(time.Second, func() {})
+}
+
+func (al *aliased) CloseAliased() {
+	t := al.estW
+	al.estW = nil
+	if t != nil {
+		t.Stop()
+	}
+}
+
+// BadFieldNoStop arms lost and nothing in the package ever stops it.
+func (n *node) BadFieldNoStop() {
+	n.lost = n.sched.AfterFunc(time.Second, func() {}) // want "timer stored in field lost is never stopped anywhere in the package"
+}
+
+// GoodLocalStopped stops its timer before returning.
+func (n *node) GoodLocalStopped() {
+	t := n.sched.AfterFunc(time.Second, func() {})
+	t.Stop()
+}
+
+// GoodLocalReturned hands the timer to the caller.
+func (n *node) GoodLocalReturned() sim.Timer {
+	t := n.sched.AfterFunc(time.Second, func() {})
+	return t
+}
+
+// GoodLocalStored parks the timer in a field (whose Stop path is the
+// field rule's business, and kaTimer has one).
+func (n *node) GoodLocalStored() {
+	t := n.sched.AfterFunc(time.Second, func() {})
+	n.kaTimer = t
+}
+
+// BadLocalLeaked keeps the timer in a local that never escapes and is
+// never stopped.
+func (n *node) BadLocalLeaked() {
+	t := n.sched.AfterFunc(time.Second, func() {}) // want "timer t from Scheduler.AfterFunc is neither stopped nor handed off"
+	_ = t.Stop
+}

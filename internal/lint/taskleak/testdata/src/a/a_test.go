@@ -1,0 +1,10 @@
+package a
+
+import "time"
+
+// Test files are exempt: wall-mode regression tests may fire and
+// forget. Nothing here may be flagged.
+func leakyHelper(n *node) {
+	n.sched.Go(func() {})
+	n.sched.AfterFunc(time.Second, func() {})
+}

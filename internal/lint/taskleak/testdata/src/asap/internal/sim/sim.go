@@ -1,0 +1,19 @@
+// Package sim is the fixture shadow of the scheduler interface: just
+// enough surface for the taskleak fixtures to type-check. The package
+// itself is exempt from the analyzer.
+package sim
+
+import "time"
+
+type Timer interface{ Stop() bool }
+
+type Waiter interface {
+	Wake()
+	Wait(d time.Duration) bool
+}
+
+type Scheduler interface {
+	Go(fn func())
+	AfterFunc(d time.Duration, fn func()) Timer
+	NewWaiter() Waiter
+}

@@ -187,7 +187,15 @@ func DecodeMessage(data []byte, m *Message) error {
 	if data[0] != CodecVersion {
 		return fmt.Errorf("transport: decode: unsupported codec version %d", data[0])
 	}
-	m.Type = MsgType(int8(data[1]))
+	// Reject unknown message types up front, mirroring the unknown-field
+	// rule below: a frame this build cannot dispatch must fail loudly at
+	// the wire, not surface as a zero-value handler mystery. protosync
+	// (`make lint`) checks this bound stays tied to the enum.
+	t := MsgType(int8(data[1]))
+	if t <= 0 || t >= msgTypeLimit {
+		return fmt.Errorf("transport: decode: unknown message type %d", data[1])
+	}
+	m.Type = t
 	d := data[2:]
 	var seen [fldLimit]bool
 	var err error

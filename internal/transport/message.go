@@ -1,6 +1,9 @@
 package transport
 
-import "time"
+import (
+	"strconv"
+	"time"
+)
 
 // MsgType enumerates the ASAP wire protocol messages (Section 6.1's node
 // operations plus voice forwarding).
@@ -113,7 +116,89 @@ const (
 	// one round trip (DESIGN.md §15).
 	MsgProbeBatch
 	MsgProbeBatchReply
+
+	// msgTypeLimit is one past the last declared message type. The
+	// decoder rejects type bytes outside [1, msgTypeLimit), so a frame
+	// carrying a type this build does not know fails loudly instead of
+	// dispatching into a zero-value handler path. The protosync analyzer
+	// (`make lint`) checks the sentinel stays last and stays consulted.
+	msgTypeLimit
 )
+
+// String names t for logs, error messages and protocol diagnostics.
+// Every declared message type needs a case here: the protosync analyzer
+// fails `make lint` when the enum and this switch drift apart.
+func (t MsgType) String() string {
+	switch t {
+	case MsgError:
+		return "MsgError"
+	case MsgJoin:
+		return "MsgJoin"
+	case MsgJoinReply:
+		return "MsgJoinReply"
+	case MsgRegisterSurrogate:
+		return "MsgRegisterSurrogate"
+	case MsgRegisterSurrogateReply:
+		return "MsgRegisterSurrogateReply"
+	case MsgGetSurrogates:
+		return "MsgGetSurrogates"
+	case MsgGetSurrogatesReply:
+		return "MsgGetSurrogatesReply"
+	case MsgGetCloseSet:
+		return "MsgGetCloseSet"
+	case MsgGetCloseSetReply:
+		return "MsgGetCloseSetReply"
+	case MsgPublishNodalInfo:
+		return "MsgPublishNodalInfo"
+	case MsgPublishNodalInfoReply:
+		return "MsgPublishNodalInfoReply"
+	case MsgPing:
+		return "MsgPing"
+	case MsgPong:
+		return "MsgPong"
+	case MsgCallSetup:
+		return "MsgCallSetup"
+	case MsgCallSetupReply:
+		return "MsgCallSetupReply"
+	case MsgRelayOpen:
+		return "MsgRelayOpen"
+	case MsgRelayOpenReply:
+		return "MsgRelayOpenReply"
+	case MsgVoice:
+		return "MsgVoice"
+	case MsgVoiceAck:
+		return "MsgVoiceAck"
+	case MsgKeepalive:
+		return "MsgKeepalive"
+	case MsgKeepaliveAck:
+		return "MsgKeepaliveAck"
+	case MsgRelayProbe:
+		return "MsgRelayProbe"
+	case MsgRelayProbeReply:
+		return "MsgRelayProbeReply"
+	case MsgQualityReport:
+		return "MsgQualityReport"
+	case MsgQualityReportAck:
+		return "MsgQualityReportAck"
+	case MsgSurrogateHeartbeat:
+		return "MsgSurrogateHeartbeat"
+	case MsgSurrogateHeartbeatReply:
+		return "MsgSurrogateHeartbeatReply"
+	case MsgMediaSetup:
+		return "MsgMediaSetup"
+	case MsgMediaSetupReply:
+		return "MsgMediaSetupReply"
+	case MsgMediaReestablish:
+		return "MsgMediaReestablish"
+	case MsgMediaReestablishReply:
+		return "MsgMediaReestablishReply"
+	case MsgProbeBatch:
+		return "MsgProbeBatch"
+	case MsgProbeBatchReply:
+		return "MsgProbeBatchReply"
+	}
+	return "MsgType(" + strconv.Itoa(int(t)) + ")"
+}
 
 // CloseEntry is one close-cluster-set entry on the wire.
 type CloseEntry struct {

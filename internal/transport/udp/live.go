@@ -23,6 +23,7 @@ type Live struct {
 	mu     sync.Mutex
 	conns  []net.PacketConn
 	closed bool
+	wg     sync.WaitGroup // reader goroutines, drained by Close
 }
 
 // NewLive returns a real-UDP packet network.
@@ -60,7 +61,9 @@ func (l *Live) ListenPacket(addr transport.Addr, h transport.PacketHandler) (tra
 	l.conns = append(l.conns, pc)
 	l.mu.Unlock()
 
+	l.wg.Add(1)
 	l.sched().Go(func() {
+		defer l.wg.Done()
 		buf := make([]byte, MaxDatagramSize)
 		for {
 			n, from, err := pc.ReadFrom(buf)
@@ -77,15 +80,18 @@ func (l *Live) ListenPacket(addr transport.Addr, h transport.PacketHandler) (tra
 // larger than this are truncated by the kernel read.
 const MaxDatagramSize = transport.MaxDatagram
 
-// Close closes every socket the network has opened.
+// Close closes every socket the network has opened and waits for the
+// reader goroutines to drain: after Close returns, no handler is
+// running and none will run.
 func (l *Live) Close() error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	l.closed = true
 	for _, pc := range l.conns {
 		_ = pc.Close()
 	}
 	l.conns = nil
+	l.mu.Unlock()
+	l.wg.Wait()
 	return nil
 }
 
